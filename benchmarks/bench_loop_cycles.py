@@ -1,0 +1,54 @@
+"""E1 — section VII.A loop equations: paper vs simulated steady state.
+
+Regenerates:  T_GCM = T_CTR = 49, T_CBC = 55, T_CCM(1 core) = 104
+(128-bit keys; +8 per key-size step per AES pass).
+"""
+
+from collections import Counter
+
+from repro.analysis.cycles import paper_loop_cycles
+from repro.analysis.tables import render_table
+from repro.core.params import Direction
+from repro.radio import format_cbc_mac, format_ccm_single, format_ctr, format_gcm
+from repro.sim.tracing import TraceRecorder
+
+from benchmarks.conftest import deterministic_bytes as db, run_core_task
+
+KEYS = {128: bytes(range(16)), 192: bytes(range(24)), 256: bytes(range(32))}
+
+
+def _measure(mode: str, key_bits: int) -> int:
+    trace = TraceRecorder(enabled=True)
+    key = KEYS[key_bits]
+    data = db(2048, seed=key_bits)
+    if mode in ("gcm",):
+        task = format_gcm(key_bits, db(12), b"", data, Direction.ENCRYPT)
+    elif mode == "ctr":
+        task = format_ctr(key_bits, db(14) + bytes(2), data)
+    elif mode == "cbc":
+        task = format_cbc_mac(key_bits, data, Direction.ENCRYPT)
+    else:  # ccm1
+        task = format_ccm_single(key_bits, db(13), b"", data, Direction.ENCRYPT, 8)
+    run, _, _ = run_core_task(task, key, trace)
+    assert run.result.ok
+    stride = 2 if mode == "ccm1" else 1
+    cycles = [e.cycle for e in trace.filter(None, "issue") if e.details.get("op") == "SAES"]
+    periods = [b - a for a, b in zip(cycles[::stride], cycles[stride::stride])]
+    return Counter(periods).most_common(1)[0][0]
+
+
+def test_bench_loop_cycles(benchmark):
+    rows = []
+    for mode in ("gcm", "ctr", "cbc", "ccm1"):
+        for key_bits in (128, 192, 256):
+            measured = _measure(mode, key_bits)
+            paper = paper_loop_cycles(mode, key_bits)
+            rows.append((mode.upper(), key_bits, paper, measured,
+                         "OK" if measured == paper else "MISMATCH"))
+    print()
+    print(render_table(
+        ["mode", "key bits", "paper cycles", "measured cycles", "verdict"],
+        rows, title="E1: steady-state loop periods (section VII.A)"))
+    assert all(r[4] == "OK" for r in rows)
+    # Benchmark the densest measurement (CCM single-core, 128-bit).
+    benchmark(lambda: _measure("ccm1", 128))

@@ -1,0 +1,44 @@
+"""Reference gold-model microbenchmarks (pytest-benchmark proper).
+
+Not a paper artifact — tracks the pure-Python crypto kernels that every
+simulation cycle ultimately calls, so performance regressions in the
+hot paths (AES block, GHASH block, full GCM packet) are visible.
+"""
+
+import pytest
+
+from repro.crypto import AES, ccm_encrypt, gcm_encrypt, whirlpool
+from repro.crypto.gf128 import gf128_mul
+
+from benchmarks.conftest import deterministic_bytes as db
+
+KEY = bytes(range(16))
+BLOCK = db(16, seed=11)
+PACKET = db(2048, seed=12)
+
+
+def test_bench_aes_block(benchmark):
+    cipher = AES(KEY)
+    out = benchmark(cipher.encrypt_block, BLOCK)
+    assert len(out) == 16
+
+
+def test_bench_gf128_mul(benchmark):
+    x = int.from_bytes(db(16, seed=13), "big")
+    y = int.from_bytes(db(16, seed=14), "big")
+    assert benchmark(gf128_mul, x, y) == gf128_mul(x, y)
+
+
+def test_bench_gcm_2kb_packet(benchmark):
+    ct, tag = benchmark(gcm_encrypt, KEY, db(12), PACKET, b"")
+    assert len(ct) == 2048 and len(tag) == 16
+
+
+def test_bench_ccm_2kb_packet(benchmark):
+    ct, tag = benchmark(ccm_encrypt, KEY, db(13), PACKET, b"", 8)
+    assert len(tag) == 8
+
+
+def test_bench_whirlpool_block(benchmark):
+    digest = benchmark(whirlpool, db(64, seed=15))
+    assert len(digest) == 64

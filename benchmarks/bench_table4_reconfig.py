@@ -1,0 +1,71 @@
+"""E4 — Table IV: partial reconfiguration results.
+
+Regenerates all four timing cells (AES / Whirlpool x CompactFlash /
+RAM) from the bitstream-store bandwidth model, swaps a live core's
+personality both ways, and demonstrates the caching conclusion.
+"""
+
+import pytest
+
+from repro.analysis.tables import render_table
+from repro.core.crypto_core import CryptoCore
+from repro.reconfig import BitstreamStore, MODULE_LIBRARY, ReconfigManager, StoreKind
+from repro.sim.kernel import Simulator
+from repro.unit.timing import DEFAULT_TIMING
+
+PAPER_TABLE4 = {
+    # module: (slices, brams, bitstream_kB, cf_ms, ram_ms)
+    "aes": (351, 4, 89, 380, 63),
+    "whirlpool": (1153, 4, 97, 416, 69),
+}
+
+
+def test_bench_table4(benchmark):
+    cf = BitstreamStore(StoreKind.COMPACT_FLASH)
+    ram = BitstreamStore(StoreKind.RAM)
+    rows = []
+    for module, (slices, brams, size_kb, cf_ms, ram_ms) in PAPER_TABLE4.items():
+        bs = MODULE_LIBRARY[module]
+        ours_cf = cf.load_seconds(module) * 1000
+        ours_ram = ram.load_seconds(module) * 1000
+        rows.append(
+            (
+                module,
+                f"{bs.slices} ({bs.brams})",
+                f"{bs.size_bytes // 1000}",
+                f"{cf_ms} / {ours_cf:.0f}",
+                f"{ram_ms} / {ours_ram:.0f}",
+            )
+        )
+        assert bs.slices == slices and bs.brams == brams
+        assert bs.size_bytes == size_kb * 1000
+        assert ours_cf == pytest.approx(cf_ms, rel=0.05)
+        assert ours_ram == pytest.approx(ram_ms, rel=0.05)
+    print()
+    print(
+        render_table(
+            ["module", "slices (BRAM)", "bitstream kB", "CF ms (paper/ours)", "RAM ms (paper/ours)"],
+            rows,
+            title="E4: Table IV — partial reconfiguration results",
+        )
+    )
+
+    # Live swap on a simulated core + the caching conclusion.
+    def live_swap():
+        sim = Simulator()
+        cores = [CryptoCore(sim, DEFAULT_TIMING, index=0)]
+        manager = ReconfigManager(sim, cores, BitstreamStore(StoreKind.COMPACT_FLASH))
+        first = manager.reconfigure_sync(0, "whirlpool")
+        manager.reconfigure_sync(0, "aes")
+        cached = manager.reconfigure_sync(0, "whirlpool")
+        return first, cached
+
+    first, cached = live_swap()
+    assert not first.cached and cached.cached
+    assert cached.seconds < first.seconds / 4
+    print(
+        f"caching: first Whirlpool load {first.seconds * 1000:.0f} ms (CF), "
+        f"cached reload {cached.seconds * 1000:.0f} ms (RAM-class) — "
+        "'caching of bitstream is needed to obtain the best performances'"
+    )
+    benchmark(live_swap)

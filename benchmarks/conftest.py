@@ -1,0 +1,46 @@
+"""Benchmark fixtures: shared measurement helpers.
+
+Every benchmark prints a paper-vs-measured table (captured with ``-s``)
+and feeds pytest-benchmark a representative inner loop, so both the
+reproduction artifact and the performance regression signal come out of
+one run: ``pytest benchmarks/ --benchmark-only -s``.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.crypto_core import CryptoCore
+from repro.core.harness import run_task
+from repro.crypto.aes import expand_key
+from repro.sim.kernel import Simulator
+from repro.sim.tracing import TraceRecorder
+from repro.unit.timing import DEFAULT_TIMING
+
+CLOCK_HZ = 190e6
+
+
+def deterministic_bytes(n: int, seed: int = 1) -> bytes:
+    rng = random.Random(seed)
+    return bytes(rng.getrandbits(8) for _ in range(n))
+
+
+def run_core_task(task, key, trace=None):
+    """One task on one fresh core; returns (run, core, sim)."""
+    sim = Simulator()
+    core = CryptoCore(sim, DEFAULT_TIMING, trace=trace)
+    if key is not None:
+        core.key_cache.install(expand_key(key), 8 * len(key))
+    return run_task(sim, core, task), core, sim
+
+
+def packet_mbps(payload_bytes: int, cycles: int) -> float:
+    """Throughput of one packet at the paper's 190 MHz clock."""
+    return 8 * payload_bytes * CLOCK_HZ / cycles / 1e6
+
+
+@pytest.fixture
+def traced():
+    return TraceRecorder(enabled=True)

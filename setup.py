@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The offline environment lacks the ``wheel`` package required by PEP 660
+editable installs, so ``pip install -e . --no-build-isolation`` falls
+back to this legacy entry point (all metadata lives in pyproject.toml).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,35 @@
+"""Analysis: cycle equations, throughput conversion, area model, tables.
+
+These modules turn simulator measurements into the paper's reported
+artifacts: the section VII.A loop equations (:mod:`cycles`), Table II
+throughput rows (:mod:`throughput`), the resource inventory behind
+Table III's area column (:mod:`area`), latency statistics for the
+mapping trade-off (:mod:`latency`) and text renderers (:mod:`tables`).
+"""
+
+from repro.analysis.cycles import LoopModel, paper_loop_cycles
+from repro.analysis.throughput import (
+    CLOCK_HZ_DEFAULT,
+    PAPER_TABLE2,
+    Table2Row,
+    mbps,
+    theoretical_table2,
+)
+from repro.analysis.area import AreaModel, COMPONENT_AREAS
+from repro.analysis.latency import latency_stats, LatencyStats
+from repro.analysis.tables import render_table
+
+__all__ = [
+    "LoopModel",
+    "paper_loop_cycles",
+    "CLOCK_HZ_DEFAULT",
+    "PAPER_TABLE2",
+    "Table2Row",
+    "mbps",
+    "theoretical_table2",
+    "AreaModel",
+    "COMPONENT_AREAS",
+    "latency_stats",
+    "LatencyStats",
+    "render_table",
+]

@@ -1,0 +1,58 @@
+"""Latency statistics for the mapping trade-off (E7) and QoS (E9)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Summary of a latency sample, in cycles and microseconds."""
+
+    count: int
+    mean_cycles: float
+    p50_cycles: float
+    p99_cycles: float
+    max_cycles: int
+    clock_hz: float
+
+    @property
+    def mean_us(self) -> float:
+        """Mean latency in microseconds."""
+        return self.mean_cycles / self.clock_hz * 1e6
+
+    @property
+    def p99_us(self) -> float:
+        """99th-percentile latency in microseconds."""
+        return self.p99_cycles / self.clock_hz * 1e6
+
+    @property
+    def max_us(self) -> float:
+        """Worst-case latency in microseconds."""
+        return self.max_cycles / self.clock_hz * 1e6
+
+
+def _percentile(sorted_values: Sequence[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    idx = q * (len(sorted_values) - 1)
+    lo = int(idx)
+    hi = min(lo + 1, len(sorted_values) - 1)
+    frac = idx - lo
+    return sorted_values[lo] * (1 - frac) + sorted_values[hi] * frac
+
+
+def latency_stats(latencies_cycles: Sequence[int], clock_hz: float = 190e6) -> LatencyStats:
+    """Summarise a latency sample (cycles)."""
+    values = sorted(latencies_cycles)
+    if not values:
+        return LatencyStats(0, 0.0, 0.0, 0.0, 0, clock_hz)
+    return LatencyStats(
+        count=len(values),
+        mean_cycles=sum(values) / len(values),
+        p50_cycles=_percentile(values, 0.50),
+        p99_cycles=_percentile(values, 0.99),
+        max_cycles=values[-1],
+        clock_hz=clock_hz,
+    )

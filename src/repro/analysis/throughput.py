@@ -1,0 +1,108 @@
+"""Table II reproduction helpers.
+
+"MCCP encryption throughputs at 190 MHz (theoretical / 2 KB packet)":
+the theoretical column is ``cores * 128 bits / T_loop * f``; the packet
+column comes from simulating real 2 KB packets.  ``PAPER_TABLE2`` pins
+the published values for paper-vs-measured reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.analysis.cycles import LoopModel
+from repro.unit.timing import DEFAULT_TIMING, TimingModel
+
+CLOCK_HZ_DEFAULT = 190e6
+
+#: Table II as published: {(mode_config, key_bits): (theoretical, 2KB)}
+#: mode_config in {"gcm_1", "gcm_4x1", "ccm_1", "ccm_4x1", "ccm_2", "ccm_2x2"}.
+PAPER_TABLE2: Dict[Tuple[str, int], Tuple[int, int]] = {
+    ("gcm_1", 128): (496, 437),
+    ("gcm_4x1", 128): (1984, 1748),
+    ("ccm_1", 128): (233, 214),
+    ("ccm_4x1", 128): (932, 856),
+    ("ccm_2", 128): (442, 393),
+    ("ccm_2x2", 128): (884, 786),
+    ("gcm_1", 192): (426, 382),
+    ("gcm_4x1", 192): (1704, 1528),
+    ("ccm_1", 192): (202, 187),
+    ("ccm_4x1", 192): (808, 748),
+    ("ccm_2", 192): (386, 348),
+    ("ccm_2x2", 192): (772, 696),
+    ("gcm_1", 256): (374, 337),
+    ("gcm_4x1", 256): (1496, 1348),
+    ("ccm_1", 256): (178, 171),
+    ("ccm_4x1", 256): (712, 684),
+    ("ccm_2", 256): (342, 313),
+    ("ccm_2x2", 256): (684, 626),
+}
+
+#: The abstract's headline number: max aggregate throughput.
+PAPER_MAX_THROUGHPUT_MBPS = 1700  # "1.7 Gbps"
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    """One cell pair of Table II."""
+
+    config: str
+    key_bits: int
+    theoretical_mbps: float
+    packet_mbps: float
+    paper_theoretical: int
+    paper_packet: int
+
+
+def mbps(payload_bits: int, cycles: int, clock_hz: float = CLOCK_HZ_DEFAULT) -> float:
+    """Convert (bits, cycles) to Mbps at *clock_hz*."""
+    if cycles <= 0:
+        raise ValueError("cycles must be positive")
+    return payload_bits * clock_hz / cycles / 1e6
+
+
+def _config_parts(config: str) -> Tuple[str, int, int]:
+    """(mode, cores_per_packet, parallel_packets) for a Table II config."""
+    table = {
+        "gcm_1": ("gcm", 1, 1),
+        "gcm_4x1": ("gcm", 1, 4),
+        "ccm_1": ("ccm1", 1, 1),
+        "ccm_4x1": ("ccm1", 1, 4),
+        "ccm_2": ("ccm2", 2, 1),
+        "ccm_2x2": ("ccm2", 2, 2),
+    }
+    return table[config]
+
+
+def theoretical_mbps(
+    config: str,
+    key_bits: int,
+    timing: TimingModel = DEFAULT_TIMING,
+    clock_hz: float = CLOCK_HZ_DEFAULT,
+) -> float:
+    """The theoretical column of Table II from the loop model."""
+    mode, _cores, packets = _config_parts(config)
+    loop = LoopModel(timing).period(mode, key_bits)
+    return packets * mbps(128, loop, clock_hz)
+
+
+def theoretical_table2(
+    timing: TimingModel = DEFAULT_TIMING, clock_hz: float = CLOCK_HZ_DEFAULT
+) -> List[Table2Row]:
+    """All Table II rows with the theoretical column filled in."""
+    rows = []
+    for (config, key_bits), (paper_theo, paper_pkt) in sorted(
+        PAPER_TABLE2.items(), key=lambda kv: (kv[0][1], kv[0][0])
+    ):
+        rows.append(
+            Table2Row(
+                config=config,
+                key_bits=key_bits,
+                theoretical_mbps=round(theoretical_mbps(config, key_bits, timing, clock_hz), 1),
+                packet_mbps=float("nan"),
+                paper_theoretical=paper_theo,
+                paper_packet=paper_pkt,
+            )
+        )
+    return rows

@@ -1,0 +1,25 @@
+"""Comparator architectures for Table III.
+
+Two kinds of baseline:
+
+- :mod:`repro.baselines.literature` — the published figures the paper's
+  Table III quotes (Cryptonite, Celator, Cryptomaniac, Aziz, Lemsitzer),
+  with the Mbps/MHz normalisation reproduced;
+- runnable models: a mono-core iterative accelerator
+  (:mod:`repro.baselines.mono_core`) and a pipelined GCM engine
+  (:mod:`repro.baselines.pipelined_gcm`), which let the benchmarks show
+  *why* the paper's architecture wins on multi-channel flexibility even
+  though a pipelined engine wins raw single-stream throughput.
+"""
+
+from repro.baselines.literature import LITERATURE_ENTRIES, LiteratureEntry, mccp_entry
+from repro.baselines.mono_core import MonoCoreAccelerator
+from repro.baselines.pipelined_gcm import PipelinedGcmEngine
+
+__all__ = [
+    "LITERATURE_ENTRIES",
+    "LiteratureEntry",
+    "mccp_entry",
+    "MonoCoreAccelerator",
+    "PipelinedGcmEngine",
+]

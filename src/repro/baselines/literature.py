@@ -1,0 +1,85 @@
+"""Table III's literature comparison data.
+
+The table normalises throughput by clock (Mbps/MHz) to compare across
+platforms.  The MCCP row is *recomputed* from our simulated device
+(4 cores, AES-GCM/CCM 128-bit, paper-identical loop periods) rather
+than copied, so the benchmark actually exercises the model:
+
+    GCM 4x1: 4 * 128 bits / 49 cycles  = 10.45 bits/cycle ≈ paper's 9.91
+    CCM 4x1: 4 * 128 bits / 104 cycles = 4.92 bits/cycle ≈ paper's 4.43
+
+(the paper's figures embed 2 KB-packet overhead; both are reported).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.unit.timing import DEFAULT_TIMING, TimingModel
+
+
+@dataclass(frozen=True)
+class LiteratureEntry:
+    """One Table III row."""
+
+    name: str
+    platform: str
+    programmable: bool
+    algorithm: str
+    throughput_mbps_per_mhz: float
+    frequency_mhz: float
+    slices: Optional[int] = None
+    brams: Optional[int] = None
+
+    @property
+    def throughput_mbps(self) -> float:
+        """Absolute throughput at the design's own clock."""
+        return self.throughput_mbps_per_mhz * self.frequency_mhz
+
+
+#: Rows quoted from the paper's Table III (non-MCCP designs).
+LITERATURE_ENTRIES: List[LiteratureEntry] = [
+    LiteratureEntry("Cryptonite [4]", "ASIC", True, "ECB", 5.62, 400.0),
+    LiteratureEntry("Celator [15]", "ASIC", True, "CBC", 0.24, 190.0),
+    LiteratureEntry("Cryptomaniac [16]", "ASIC", True, "ECB", 1.42, 360.0),
+    LiteratureEntry(
+        "A. Aziz et al. [3]", "x3s200-5", False, "CCM", 2.78, 247.0, 487, 4
+    ),
+    LiteratureEntry(
+        "S. Lemsitzer et al. [1]", "v4-FX100", False, "GCM", 32.00, 140.0, 6000, 30
+    ),
+]
+
+#: The paper's own MCCP row, for paper-vs-measured reporting.
+PAPER_MCCP_GCM_MBPS_PER_MHZ = 9.91
+PAPER_MCCP_CCM_MBPS_PER_MHZ = 4.43
+
+
+def mccp_entry(
+    cores: int = 4,
+    key_bits: int = 128,
+    timing: TimingModel = DEFAULT_TIMING,
+    algorithm: str = "GCM",
+    frequency_mhz: float = 190.0,
+    slices: int = 4084,
+    brams: int = 26,
+) -> LiteratureEntry:
+    """Build the MCCP Table III row from the timing model."""
+    if algorithm == "GCM":
+        loop = timing.gcm_loop(key_bits)
+    elif algorithm == "CCM":
+        loop = timing.ccm_one_core_loop(key_bits)
+    else:
+        raise ValueError(f"Table III compares GCM/CCM, not {algorithm!r}")
+    bits_per_cycle = cores * 128 / loop
+    return LiteratureEntry(
+        name="MCCP (this reproduction)",
+        platform="v4-SX35-11 (simulated)",
+        programmable=True,
+        algorithm=algorithm,
+        throughput_mbps_per_mhz=round(bits_per_cycle, 2),
+        frequency_mhz=frequency_mhz,
+        slices=slices,
+        brams=brams,
+    )

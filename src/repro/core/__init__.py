@@ -1,0 +1,25 @@
+"""The Cryptographic Core (paper section IV, Fig. 2).
+
+A core bundles: input/output FIFOs (512 x 32 bits each), the
+reconfigurable Cryptographic Unit, a round-key cache, the inter-core
+shift register ports, and an 8-bit controller running the mode
+firmware.  Cores are instantiated and orchestrated by
+:mod:`repro.mccp`.
+"""
+
+from repro.core.key_cache import KeyCache
+from repro.core.params import Algorithm, CcmRole, Direction, TaskParams
+from repro.core.crypto_core import CryptoCore, CoreResult
+from repro.core.firmware import FIRMWARE_LIBRARY, firmware_for
+
+__all__ = [
+    "KeyCache",
+    "Algorithm",
+    "CcmRole",
+    "Direction",
+    "TaskParams",
+    "CryptoCore",
+    "CoreResult",
+    "FIRMWARE_LIBRARY",
+    "firmware_for",
+]

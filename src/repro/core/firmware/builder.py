@@ -1,0 +1,193 @@
+"""Assembly-emission helpers shared by all mode firmware.
+
+Controller register conventions (every program):
+
+===========  ==========================================================
+``s0``       data-block countdown
+``s1``       header/AAD-block countdown
+``s2``       CU instruction scratch (prefetch register)
+``s3``       status / result scratch
+``s4, s5``   final-data-block mask (low, high)
+``s6, s7``   tag mask (low, high)
+===========  ==========================================================
+
+Port map (bound by :class:`repro.core.crypto_core.CryptoCore`):
+
+===========  ==========================================================
+``0x00`` W   CU instruction (write strobe = issue)
+``0x01`` W   XOR/EQU mask low byte
+``0x02`` W   XOR/EQU mask high byte
+``0x03`` R   CU status (bit0 equ, bit1 AES busy, bit2 GHASH busy)
+``0x10+`` R  task parameters (see :mod:`repro.core.params`)
+``0x20`` W   result code (0x01 OK, 0x02 AUTH_FAIL) — ends the task
+===========  ==========================================================
+
+Timing idioms (calibrated against the paper's loop equations; see
+:mod:`repro.unit.timing`):
+
+- ``pred(op)`` emits ``LOAD s2 / OUTPUT / NOP`` — consecutive ``pred``
+  issues land exactly 6 cycles apart, the effective occupancy of a
+  predictable CU instruction;
+- ``fin_pre(fin, nxt)`` emits ``LOAD/OUTPUT(fin)/LOAD(nxt)/HALT/
+  OUTPUT(nxt)/NOP`` — the *next* instruction issues on the finalize's
+  done edge, the pre-fetch trick of paper section VI.A;
+- ``fin(op)`` emits ``LOAD/OUTPUT/HALT`` for non-loop finalizes where a
+  few cycles of slack do not matter.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.unit.isa import CuOp, cu_encode
+
+# Port numbers (kept in sync with CryptoCore's dispatch).
+P_CU = 0x00
+P_MASK_LO = 0x01
+P_MASK_HI = 0x02
+P_STATUS = 0x03
+P_RESULT = 0x20
+
+RESULT_OK = 0x01
+RESULT_AUTH_FAIL = 0x02
+
+STATUS_EQU_BIT = 0x01
+
+
+class FW:
+    """Incremental assembly-source builder."""
+
+    def __init__(self, title: str):
+        self._lines: List[str] = [f"; {title}"]
+
+    # -- raw emission -----------------------------------------------------
+
+    def raw(self, line: str) -> "FW":
+        """Append one raw assembly line."""
+        self._lines.append(line)
+        return self
+
+    def label(self, name: str) -> "FW":
+        """Append a label."""
+        self._lines.append(f"{name}:")
+        return self
+
+    def source(self) -> str:
+        """The complete assembly text."""
+        return "\n".join(self._lines) + "\n"
+
+    # -- CU instruction idioms ---------------------------------------------
+
+    def cu_byte(self, op: CuOp, a: int = 0, b: int = 0) -> int:
+        """Encode a CU instruction byte (overridable for other personalities)."""
+        return cu_encode(op, a, b)
+
+    def pred(self, op, a: int = 0, b: int = 0, note: str = "") -> "FW":
+        """Issue a predictable CU instruction with exact 6-cycle spacing."""
+        byte = self._encode(op, a, b)
+        tag = note or getattr(op, "name", str(op))
+        self.raw(f"    LOAD   s2, {byte}")
+        self.raw(f"    OUTPUT s2, {P_CU}        ; {tag} @{a},@{b}")
+        self.raw("    NOP")
+        return self
+
+    def fin(self, op, a: int = 0, note: str = "") -> "FW":
+        """Issue a finalize and HALT until its done edge (slack allowed)."""
+        byte = self._encode(op, a, 0)
+        tag = note or getattr(op, "name", str(op))
+        self.raw(f"    LOAD   s2, {byte}")
+        self.raw(f"    OUTPUT s2, {P_CU}        ; {tag} @{a} (wait)")
+        self.raw("    HALT")
+        return self
+
+    def fin_pre(
+        self,
+        fin_op,
+        fin_a: int,
+        next_op,
+        next_a: int = 0,
+        next_b: int = 0,
+        note: str = "",
+    ) -> "FW":
+        """Finalize, pre-fetch the next instruction, issue it on the done edge."""
+        fin_byte = self._encode(fin_op, fin_a, 0)
+        next_byte = self._encode(next_op, next_a, next_b)
+        fin_tag = getattr(fin_op, "name", str(fin_op))
+        next_tag = getattr(next_op, "name", str(next_op))
+        self.raw(f"    LOAD   s2, {fin_byte}")
+        self.raw(f"    OUTPUT s2, {P_CU}        ; {fin_tag} @{fin_a} {note}")
+        self.raw(f"    LOAD   s2, {next_byte}   ; prefetch {next_tag}")
+        self.raw("    HALT")
+        self.raw(f"    OUTPUT s2, {P_CU}        ; {next_tag} @{next_a},@{next_b} on done edge")
+        self.raw("    NOP")
+        return self
+
+    def _encode(self, op, a: int, b: int) -> int:
+        # CuOp/WpOp are IntEnums, so check for a *plain* int (raw byte).
+        if type(op) is int:
+            return op
+        return self.cu_byte(op, a, b)
+
+    # -- mask and result idioms ---------------------------------------------
+
+    def set_final_mask(self) -> "FW":
+        """Install the final-data-block mask from s4/s5."""
+        self.raw(f"    OUTPUT s4, {P_MASK_LO}   ; final-block mask")
+        self.raw(f"    OUTPUT s5, {P_MASK_HI}")
+        return self
+
+    def set_tag_mask(self) -> "FW":
+        """Install the tag mask from s6/s7."""
+        self.raw(f"    OUTPUT s6, {P_MASK_LO}   ; tag mask")
+        self.raw(f"    OUTPUT s7, {P_MASK_HI}")
+        return self
+
+    def set_full_mask(self) -> "FW":
+        """Restore the all-bytes mask (0xFFFF)."""
+        self.raw("    LOAD   s3, 0xFF")
+        self.raw(f"    OUTPUT s3, {P_MASK_LO}   ; full mask")
+        self.raw(f"    OUTPUT s3, {P_MASK_HI}")
+        return self
+
+    def read_params(self, masks: bool = True) -> "FW":
+        """Read the standard parameter registers into s0/s1 (+ masks)."""
+        self.raw("    INPUT  s0, 0x13          ; data blocks")
+        self.raw("    INPUT  s1, 0x12          ; header blocks")
+        if masks:
+            self.raw("    INPUT  s4, 0x16          ; final mask lo")
+            self.raw("    INPUT  s5, 0x17          ; final mask hi")
+            self.raw("    INPUT  s6, 0x18          ; tag mask lo")
+            self.raw("    INPUT  s7, 0x19          ; tag mask hi")
+        return self
+
+    def result_ok(self) -> "FW":
+        """Wait for the CU to drain, then report success and finish.
+
+        The HALT is essential: the controller runs ahead of the CU's
+        issue queue, so without it the result could be published while
+        STOREs are still in flight.
+        """
+        self.raw("    HALT                      ; wait CU idle")
+        self.raw(f"    LOAD   s3, {RESULT_OK}")
+        self.raw(f"    OUTPUT s3, {P_RESULT}    ; done: OK")
+        self.raw("    RETURN")
+        return self
+
+    def check_equ_and_finish(self, fail_label: str) -> "FW":
+        """Wait for the CU to drain, read the equ flag, report OK/AUTH_FAIL.
+
+        The CU-idle wait happens exactly once (a second HALT with no
+        intervening CU instruction would sleep forever).
+        """
+        self.raw("    HALT                      ; wait for EQU to execute")
+        self.raw(f"    INPUT  s3, {P_STATUS}")
+        self.raw(f"    AND    s3, {STATUS_EQU_BIT}")
+        self.raw(f"    JUMP   Z, {fail_label}")
+        self.raw(f"    LOAD   s3, {RESULT_OK}")
+        self.raw(f"    OUTPUT s3, {P_RESULT}    ; done: OK")
+        self.raw("    RETURN")
+        self.label(fail_label)
+        self.raw(f"    LOAD   s3, {RESULT_AUTH_FAIL}")
+        self.raw(f"    OUTPUT s3, {P_RESULT}    ; done: AUTH FAIL")
+        self.raw("    RETURN")
+        return self

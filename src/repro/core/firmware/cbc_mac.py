@@ -1,0 +1,55 @@
+"""CBC-MAC firmware (standalone MAC generation and verification).
+
+Input-FIFO layout: message blocks (already padded/formatted; the first
+block plays the role CCM's B0 plays).  ``P_DATA_BLOCKS`` counts *all*
+blocks.  On generation the masked MAC is stored to the output FIFO; on
+verification the expected tag follows the message in the input FIFO.
+
+Steady-state loop period: T_CBC = T_SAES + T_FAES + T_XOR = 55 cycles
+for 128-bit keys (paper section VII.A) — the XOR that chains the
+previous cipher output into the next block sits on the critical path.
+"""
+
+from __future__ import annotations
+
+from repro.core.firmware.builder import FW
+from repro.core.params import Direction
+from repro.unit.isa import CuOp
+
+
+def build_cbc_mac(direction: Direction) -> str:
+    """Generate CBC-MAC firmware (ENCRYPT = generate, DECRYPT = verify)."""
+    verify = direction is Direction.DECRYPT
+    fw = FW(f"CBC-MAC {'verify' if verify else 'generate'} firmware")
+    fw.read_params()
+
+    fw.pred(CuOp.LOAD, 3, note="first message block")
+    fw.pred(CuOp.SAES, 3, note="chain = E(B_1)")
+    fw.raw("    SUB    s0, 1")
+    fw.raw("    JUMP   Z, tail")
+    fw.pred(CuOp.LOAD, 1, note="next block (overlaps AES)")
+
+    fw.label("chain_loop")
+    fw.raw("    SUB    s0, 1")
+    fw.raw("    JUMP   Z, chain_last")
+    fw.fin_pre(CuOp.FAES, 3, CuOp.XOR, 1, 3, note="chain")
+    fw.pred(CuOp.SAES, 3)
+    fw.pred(CuOp.LOAD, 1, note="lookahead block")
+    fw.raw("    JUMP   chain_loop")
+
+    fw.label("chain_last")
+    fw.fin_pre(CuOp.FAES, 3, CuOp.XOR, 1, 3, note="chain (last)")
+    fw.pred(CuOp.SAES, 3)
+
+    fw.label("tail")
+    fw.fin(CuOp.FAES, 3, note="final MAC")
+    fw.set_tag_mask()
+    fw.pred(CuOp.XOR, 3, 2, note="@2 = MAC & tagmask (via zeroed @2)")
+    if verify:
+        fw.pred(CuOp.LOAD, 1, note="expected tag")
+        fw.pred(CuOp.EQU, 1, 2)
+        fw.check_equ_and_finish("auth_fail")
+    else:
+        fw.pred(CuOp.STORE, 2, note="emit MAC")
+        fw.result_ok()
+    return fw.source()

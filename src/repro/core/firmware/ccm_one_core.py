@@ -1,0 +1,108 @@
+"""CCM on a single core (paper section IV.D, Table II "1 core").
+
+Input-FIFO layout (communication controller formatting):
+
+    B0 | formatted AAD blocks | A1 (first counter) | data blocks (padded)
+    | A0 (tag counter) | [decrypt: tag block]
+
+The single AES core serialises the CTR and CBC-MAC halves, so the
+steady-state encrypt loop period is T_CTR + T_CBC = 104 cycles for
+128-bit keys.  Decryption chains two XORs (ct->pt, then pt into the MAC)
+and emerges at 110 cycles — the paper only reports encryption numbers.
+
+Header count register ``s1`` holds the number of formatted AAD blocks
+(excluding B0); ``s0`` holds the data block count.
+"""
+
+from __future__ import annotations
+
+from repro.core.firmware.builder import FW
+from repro.core.params import Direction
+from repro.unit.isa import CuOp
+
+
+def build_ccm_one_core(direction: Direction) -> str:
+    """Generate single-core CCM encrypt/decrypt firmware."""
+    dec = direction is Direction.DECRYPT
+    fw = FW(f"CCM single-core {'decrypt' if dec else 'encrypt'} firmware")
+    fw.read_params()
+
+    # --- CBC-MAC over B0 and the AAD ---------------------------------------
+    fw.pred(CuOp.LOAD, 3, note="B0")
+    fw.pred(CuOp.SAES, 3, note="chain = E(B0)")
+    fw.raw("    COMPARE s1, 0")
+    fw.raw("    JUMP   Z, aad_done")
+    fw.pred(CuOp.LOAD, 1, note="AAD block (overlaps AES)")
+    fw.label("aad_loop")
+    fw.raw("    SUB    s1, 1")
+    fw.raw("    JUMP   Z, aad_last")
+    fw.fin_pre(CuOp.FAES, 3, CuOp.XOR, 1, 3, note="AAD chain")
+    fw.pred(CuOp.SAES, 3)
+    fw.pred(CuOp.LOAD, 1, note="lookahead AAD")
+    fw.raw("    JUMP   aad_loop")
+    fw.label("aad_last")
+    fw.fin_pre(CuOp.FAES, 3, CuOp.XOR, 1, 3, note="AAD chain (last)")
+    fw.pred(CuOp.SAES, 3)
+    fw.label("aad_done")
+    fw.fin(CuOp.FAES, 3, note="MAC(B0 + AAD)")
+
+    # --- data loop --------------------------------------------------------
+    fw.pred(CuOp.LOAD, 0, note="A1 (first data counter)")
+    fw.raw("    COMPARE s0, 0")
+    fw.raw("    JUMP   Z, tag_phase")
+    fw.pred(CuOp.SAES, 0, note="ctr_1")
+    fw.pred(CuOp.LOAD, 1, note="data_1")
+    fw.raw("    COMPARE s0, 1")
+    fw.raw("    JUMP   Z, last_block")
+    fw.raw("    SUB    s0, 1")
+
+    fw.label("main_loop")
+    if dec:
+        fw.fin_pre(CuOp.FAES, 2, CuOp.XOR, 2, 1, note="pt = ks ^ ct")
+        fw.pred(CuOp.XOR, 1, 3, note="mac ^= pt")
+        fw.pred(CuOp.SAES, 3, note="E(mac)")
+        fw.pred(CuOp.STORE, 1, note="emit pt")
+    else:
+        fw.fin_pre(CuOp.FAES, 2, CuOp.XOR, 1, 3, note="mac ^= pt")
+        fw.pred(CuOp.SAES, 3, note="E(mac)")
+        fw.pred(CuOp.XOR, 1, 2, note="ct = pt ^ ks")
+        fw.pred(CuOp.STORE, 2, note="emit ct")
+    fw.pred(CuOp.INC, 0, 0)
+    fw.pred(CuOp.LOAD, 1, note="next data block")
+    fw.fin_pre(CuOp.FAES, 3, CuOp.SAES, 0, note="mac done; next ctr")
+    fw.raw("    SUB    s0, 1")
+    fw.raw("    JUMP   NZ, main_loop")
+
+    # --- final (masked) data block -----------------------------------------
+    fw.label("last_block")
+    if dec:
+        fw.set_final_mask()
+        fw.fin_pre(CuOp.FAES, 2, CuOp.XOR, 2, 1, note="masked final pt")
+        fw.set_full_mask()
+        fw.pred(CuOp.XOR, 1, 3, note="mac ^= pt (full)")
+        fw.pred(CuOp.SAES, 3)
+        fw.pred(CuOp.STORE, 1)
+    else:
+        fw.fin_pre(CuOp.FAES, 2, CuOp.XOR, 1, 3, note="mac ^= pt (full)")
+        fw.pred(CuOp.SAES, 3)
+        fw.set_final_mask()
+        fw.pred(CuOp.XOR, 1, 2, note="masked final ct")
+        fw.pred(CuOp.STORE, 2)
+        fw.set_full_mask()
+    fw.fin(CuOp.FAES, 3, note="final MAC")
+
+    # --- tag phase -----------------------------------------------------------
+    fw.label("tag_phase")
+    fw.pred(CuOp.LOAD, 1, note="A0")
+    fw.pred(CuOp.SAES, 1, note="S0 = E(A0)")
+    fw.fin(CuOp.FAES, 2, note="S0 -> @2")
+    fw.set_tag_mask()
+    fw.pred(CuOp.XOR, 3, 2, note="tag = (MAC ^ S0) & mask")
+    if dec:
+        fw.pred(CuOp.LOAD, 1, note="received tag")
+        fw.pred(CuOp.EQU, 1, 2)
+        fw.check_equ_and_finish("auth_fail")
+    else:
+        fw.pred(CuOp.STORE, 2, note="emit tag")
+        fw.result_ok()
+    return fw.source()

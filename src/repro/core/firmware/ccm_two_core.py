@@ -1,0 +1,123 @@
+"""Two-core CCM firmware (paper sections IV.A/IV.D, Table II "2 cores").
+
+CCM splits across a CBC-MAC core and a CTR core; the MAC crosses the
+inter-core shift register to be encrypted by the CTR core (the use case
+the paper gives for the inter-core ports).  Steady state is limited by
+the CBC-MAC core: T = 55 cycles/block for 128-bit keys.
+
+FIFO layouts (communication controller):
+
+- MAC core:  ``B0 | AAD blocks | [encrypt: data blocks]``
+  (on decrypt the plaintext arrives over the inter-core port from the
+  CTR core instead).
+- CTR core:  ``A1 | data blocks | A0 | [decrypt: tag block]``.
+
+``s1`` = AAD block count (excluding B0), ``s0`` = data block count.
+"""
+
+from __future__ import annotations
+
+from repro.core.firmware.builder import FW
+from repro.core.params import Direction
+from repro.unit.isa import CuOp
+
+
+def _chain_fifo_blocks(fw: FW, counter: str, prefix: str) -> None:
+    """CBC-chain `counter` blocks read from the input FIFO (lookahead)."""
+    fw.raw(f"    COMPARE {counter}, 0")
+    fw.raw(f"    JUMP   Z, {prefix}_done")
+    fw.pred(CuOp.LOAD, 1, note="chain block (overlaps AES)")
+    fw.label(f"{prefix}_loop")
+    fw.raw(f"    SUB    {counter}, 1")
+    fw.raw(f"    JUMP   Z, {prefix}_last")
+    fw.fin_pre(CuOp.FAES, 3, CuOp.XOR, 1, 3, note="chain")
+    fw.pred(CuOp.SAES, 3)
+    fw.pred(CuOp.LOAD, 1, note="lookahead")
+    fw.raw(f"    JUMP   {prefix}_loop")
+    fw.label(f"{prefix}_last")
+    fw.fin_pre(CuOp.FAES, 3, CuOp.XOR, 1, 3, note="chain (last)")
+    fw.pred(CuOp.SAES, 3)
+    fw.label(f"{prefix}_done")
+
+
+def build_ccm_mac_core(direction: Direction) -> str:
+    """Firmware for the CBC-MAC half of a two-core CCM task."""
+    dec = direction is Direction.DECRYPT
+    fw = FW(f"CCM two-core MAC role ({'decrypt' if dec else 'encrypt'})")
+    fw.read_params()
+
+    fw.pred(CuOp.LOAD, 3, note="B0")
+    fw.pred(CuOp.SAES, 3, note="chain = E(B0)")
+    _chain_fifo_blocks(fw, "s1", "hdr")
+
+    if dec:
+        # Plaintext arrives from the CTR core over the inter-core port.
+        fw.raw("    COMPARE s0, 0")
+        fw.raw("    JUMP   Z, data_done")
+        fw.label("data_loop")
+        fw.fin_pre(CuOp.FAES, 3, CuOp.ICRECV, 1, note="pt from CTR core")
+        fw.pred(CuOp.XOR, 1, 3, note="mac ^= pt")
+        fw.pred(CuOp.SAES, 3)
+        fw.raw("    SUB    s0, 1")
+        fw.raw("    JUMP   NZ, data_loop")
+        fw.label("data_done")
+    else:
+        _chain_fifo_blocks(fw, "s0", "data")
+
+    fw.fin(CuOp.FAES, 3, note="final MAC")
+    fw.pred(CuOp.ICSEND, 3, note="MAC -> CTR core")
+    fw.result_ok()
+    return fw.source()
+
+
+def build_ccm_ctr_core(direction: Direction) -> str:
+    """Firmware for the CTR half of a two-core CCM task."""
+    dec = direction is Direction.DECRYPT
+    fw = FW(f"CCM two-core CTR role ({'decrypt' if dec else 'encrypt'})")
+    fw.read_params()
+
+    fw.pred(CuOp.LOAD, 0, note="A1")
+    fw.raw("    COMPARE s0, 0")
+    fw.raw("    JUMP   Z, tag_phase")
+    fw.pred(CuOp.SAES, 0, note="ctr_1")
+    fw.pred(CuOp.INC, 0, 0)
+    fw.pred(CuOp.LOAD, 1, note="data_1")
+    fw.raw("    COMPARE s0, 1")
+    fw.raw("    JUMP   Z, last_prep")
+    fw.raw("    SUB    s0, 1")
+
+    fw.label("main_loop")
+    fw.fin_pre(CuOp.FAES, 2, CuOp.SAES, 0)
+    fw.pred(CuOp.XOR, 2, 1, note="out = ks ^ in")
+    fw.pred(CuOp.STORE, 1)
+    if dec:
+        fw.pred(CuOp.ICSEND, 1, note="pt -> MAC core")
+    fw.pred(CuOp.INC, 0, 0)
+    fw.pred(CuOp.LOAD, 1, note="next block")
+    fw.raw("    SUB    s0, 1")
+    fw.raw("    JUMP   NZ, main_loop")
+
+    fw.label("last_prep")
+    fw.set_final_mask()
+    fw.fin(CuOp.FAES, 2, note="final keystream")
+    fw.pred(CuOp.XOR, 2, 1, note="masked final block")
+    fw.pred(CuOp.STORE, 1)
+    if dec:
+        fw.pred(CuOp.ICSEND, 1, note="final pt -> MAC core")
+    fw.set_full_mask()
+
+    fw.label("tag_phase")
+    fw.pred(CuOp.LOAD, 1, note="A0")
+    fw.pred(CuOp.SAES, 1, note="S0 = E(A0)")
+    fw.fin(CuOp.FAES, 2, note="S0 -> @2")
+    fw.pred(CuOp.ICRECV, 3, note="MAC from MAC core")
+    fw.set_tag_mask()
+    fw.pred(CuOp.XOR, 3, 2, note="tag = (MAC ^ S0) & mask")
+    if dec:
+        fw.pred(CuOp.LOAD, 1, note="received tag")
+        fw.pred(CuOp.EQU, 1, 2)
+        fw.check_equ_and_finish("auth_fail")
+    else:
+        fw.pred(CuOp.STORE, 2, note="emit tag")
+        fw.result_ok()
+    return fw.source()

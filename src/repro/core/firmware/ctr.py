@@ -1,0 +1,48 @@
+"""CTR firmware (encryption and decryption are the same program).
+
+Input-FIFO layout: initial counter block | data blocks (padded).
+Output FIFO: data blocks (final block masked to its valid bytes).
+
+Steady-state loop period: 49 cycles for 128-bit keys, identical to
+GCM's (T_CTR = T_SAES + T_FAES, paper section VII.A).
+"""
+
+from __future__ import annotations
+
+from repro.core.firmware.builder import FW
+from repro.unit.isa import CuOp
+
+
+def build_ctr() -> str:
+    """Generate the CTR firmware source."""
+    fw = FW("CTR firmware (direction-agnostic)")
+    fw.read_params()
+
+    fw.pred(CuOp.LOAD, 0, note="initial counter")
+    fw.raw("    COMPARE s0, 0")
+    fw.raw("    JUMP   Z, done")
+    fw.pred(CuOp.SAES, 0, note="ctr_1")
+    fw.pred(CuOp.INC, 0, 0)
+    fw.pred(CuOp.LOAD, 1, note="data_1")
+    fw.raw("    COMPARE s0, 1")
+    fw.raw("    JUMP   Z, last_prep")
+    fw.raw("    SUB    s0, 1")
+
+    fw.label("main_loop")
+    fw.fin_pre(CuOp.FAES, 2, CuOp.SAES, 0)
+    fw.pred(CuOp.XOR, 2, 1, note="out = ks ^ in")
+    fw.pred(CuOp.STORE, 1)
+    fw.pred(CuOp.INC, 0, 0)
+    fw.pred(CuOp.LOAD, 1, note="next block")
+    fw.raw("    SUB    s0, 1")
+    fw.raw("    JUMP   NZ, main_loop")
+
+    fw.label("last_prep")
+    fw.set_final_mask()
+    fw.fin(CuOp.FAES, 2, note="final keystream")
+    fw.pred(CuOp.XOR, 2, 1, note="masked final block")
+    fw.pred(CuOp.STORE, 1)
+
+    fw.label("done")
+    fw.result_ok()
+    return fw.source()

@@ -1,0 +1,102 @@
+"""GCM firmware (paper Listing 1 generalised to full packets).
+
+Input-FIFO layout (prepared by the communication controller):
+
+    zero block | J0 | AAD blocks (padded) | data blocks (padded)
+    | length block | [decrypt: tag block]
+
+Output FIFO after completion: data blocks (ciphertext on encrypt,
+plaintext on decrypt) followed by the masked tag block (encrypt only).
+
+Steady-state loop period: T = T_SAES + T_FAES = 49 cycles for 128-bit
+keys (paper section VII.A), emerging from the fin_pre/pred idioms.
+"""
+
+from __future__ import annotations
+
+from repro.core.firmware.builder import FW
+from repro.core.params import Direction
+from repro.unit.isa import CuOp
+
+
+def build_gcm(direction: Direction) -> str:
+    """Generate GCM encrypt/decrypt firmware source."""
+    dec = direction is Direction.DECRYPT
+    fw = FW(f"GCM {'decrypt' if dec else 'encrypt'} firmware")
+    fw.read_params()
+
+    # --- pre-loop: H, E(J0), first counter ---------------------------------
+    fw.pred(CuOp.LOAD, 1, note="zero block")
+    fw.pred(CuOp.SAES, 1, note="H = E(0)")
+    fw.fin(CuOp.FAES, 1)
+    fw.pred(CuOp.LOADH, 1, note="install H")
+    fw.pred(CuOp.LOAD, 0, note="J0")
+    fw.pred(CuOp.SAES, 0, note="E(J0)")
+    fw.fin(CuOp.FAES, 3, note="E(J0) -> @3")
+    fw.pred(CuOp.INC, 0, 0, note="J0+1")
+
+    # --- AAD loop ------------------------------------------------------------
+    fw.raw("    COMPARE s1, 0")
+    fw.raw("    JUMP   Z, aad_done")
+    fw.label("aad_loop")
+    fw.pred(CuOp.LOAD, 1, note="AAD block")
+    fw.pred(CuOp.SGFM, 1, note="GHASH(AAD)")
+    fw.raw("    SUB    s1, 1")
+    fw.raw("    JUMP   NZ, aad_loop")
+    fw.label("aad_done")
+
+    # --- data loop -------------------------------------------------------------
+    fw.raw("    COMPARE s0, 0")
+    fw.raw("    JUMP   Z, tail")
+    fw.pred(CuOp.SAES, 0, note="ctr_1")
+    fw.pred(CuOp.INC, 0, 0)
+    fw.pred(CuOp.LOAD, 1, note="data_1")
+    fw.raw("    COMPARE s0, 1")
+    fw.raw("    JUMP   Z, last_prep")
+    fw.raw("    SUB    s0, 1")
+
+    fw.label("main_loop")
+    fw.fin_pre(CuOp.FAES, 2, CuOp.SAES, 0, note="(Listing 1 head)")
+    if dec:
+        # GHASH absorbs the ciphertext *before* it is turned into plaintext.
+        fw.pred(CuOp.SGFM, 1, note="GHASH(ct)")
+        fw.pred(CuOp.XOR, 2, 1, note="pt = ks ^ ct")
+    else:
+        fw.pred(CuOp.XOR, 2, 1, note="ct = ks ^ pt")
+        fw.pred(CuOp.SGFM, 1, note="GHASH(ct)")
+    fw.pred(CuOp.STORE, 1)
+    fw.pred(CuOp.INC, 0, 0)
+    fw.pred(CuOp.LOAD, 1, note="next data block")
+    fw.raw("    SUB    s0, 1")
+    fw.raw("    JUMP   NZ, main_loop")
+
+    # --- final data block (masked) ---------------------------------------------
+    fw.label("last_prep")
+    if dec:
+        fw.fin(CuOp.FAES, 2, note="final keystream")
+        fw.pred(CuOp.SGFM, 1, note="GHASH(padded ct)")
+        fw.set_final_mask()
+        fw.pred(CuOp.XOR, 2, 1, note="masked pt")
+    else:
+        fw.set_final_mask()
+        fw.fin(CuOp.FAES, 2, note="final keystream")
+        fw.pred(CuOp.XOR, 2, 1, note="masked ct")
+        fw.pred(CuOp.SGFM, 1, note="GHASH(masked ct)")
+    fw.pred(CuOp.STORE, 1)
+    fw.set_full_mask()
+
+    # --- tail: length block, tag ----------------------------------------------
+    fw.label("tail")
+    fw.pred(CuOp.LOAD, 1, note="length block")
+    fw.pred(CuOp.SGFM, 1)
+    fw.set_tag_mask()
+    fw.fin(CuOp.FGFM, 2, note="S -> @2")
+    fw.pred(CuOp.XOR, 3, 2, note="tag = (E(J0) ^ S) & mask")
+    if dec:
+        fw.pred(CuOp.LOAD, 1, note="received tag")
+        fw.pred(CuOp.EQU, 1, 2, note="verify")
+        fw.check_equ_and_finish("auth_fail")
+    else:
+        fw.pred(CuOp.STORE, 2, note="emit tag")
+        fw.result_ok()
+    return fw.source()

@@ -1,0 +1,91 @@
+"""The assembled firmware library.
+
+Maps (algorithm, direction, role) to a ready-to-run
+:class:`repro.isa.program.Program`.  Programs are assembled once at
+import; the Task Scheduler "loads" them into a core's (shared)
+instruction memory when it assigns a task — the reload is modeled by
+:meth:`repro.isa.controller.Controller8.load_program`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, NamedTuple
+
+from repro.core.firmware.builder import FW  # noqa: F401  (re-export for tests)
+from repro.core.firmware.cbc_mac import build_cbc_mac
+from repro.core.firmware.ccm_one_core import build_ccm_one_core
+from repro.core.firmware.ccm_two_core import build_ccm_ctr_core, build_ccm_mac_core
+from repro.core.firmware.ctr import build_ctr
+from repro.core.firmware.gcm import build_gcm
+from repro.core.firmware.whirlpool_fw import build_whirlpool
+from repro.core.params import Algorithm, CcmRole, Direction
+from repro.errors import FirmwareError
+from repro.isa.assembler import assemble
+from repro.isa.program import Program
+
+
+class FirmwareKey(NamedTuple):
+    """Lookup key into the firmware library."""
+
+    algorithm: Algorithm
+    direction: Direction
+    role: CcmRole
+
+
+def _build_all() -> Dict[FirmwareKey, Program]:
+    lib: Dict[FirmwareKey, Program] = {}
+
+    def put(alg: Algorithm, direction: Direction, role: CcmRole, source: str, name: str):
+        lib[FirmwareKey(alg, direction, role)] = assemble(source, name)
+
+    ctr_src = build_ctr()
+    for d in Direction:
+        put(Algorithm.CTR, d, CcmRole.SINGLE, ctr_src, "fw_ctr")
+        put(Algorithm.GCM, d, CcmRole.SINGLE, build_gcm(d), f"fw_gcm_{d.name.lower()}")
+        put(
+            Algorithm.CBC_MAC,
+            d,
+            CcmRole.SINGLE,
+            build_cbc_mac(d),
+            f"fw_cbcmac_{d.name.lower()}",
+        )
+        put(
+            Algorithm.CCM,
+            d,
+            CcmRole.SINGLE,
+            build_ccm_one_core(d),
+            f"fw_ccm1_{d.name.lower()}",
+        )
+        put(
+            Algorithm.CCM,
+            d,
+            CcmRole.MAC,
+            build_ccm_mac_core(d),
+            f"fw_ccm2_mac_{d.name.lower()}",
+        )
+        put(
+            Algorithm.CCM,
+            d,
+            CcmRole.CTR,
+            build_ccm_ctr_core(d),
+            f"fw_ccm2_ctr_{d.name.lower()}",
+        )
+        put(Algorithm.WHIRLPOOL, d, CcmRole.SINGLE, build_whirlpool(), "fw_whirlpool")
+    return lib
+
+
+FIRMWARE_LIBRARY: Dict[FirmwareKey, Program] = _build_all()
+
+
+def firmware_for(
+    algorithm: Algorithm,
+    direction: Direction,
+    role: CcmRole = CcmRole.SINGLE,
+) -> Program:
+    """Look up the program for a task configuration."""
+    try:
+        return FIRMWARE_LIBRARY[FirmwareKey(algorithm, direction, role)]
+    except KeyError as exc:
+        raise FirmwareError(
+            f"no firmware for {algorithm!r} {direction!r} role={role!r}"
+        ) from exc

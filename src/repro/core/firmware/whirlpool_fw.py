@@ -1,0 +1,44 @@
+"""Whirlpool hashing firmware for the reconfigured Cryptographic Unit.
+
+After partial reconfiguration (paper section VII.B / Table IV) the CU
+speaks the :class:`repro.unit.whirlpool_unit.WpOp` instruction set.  A
+512-bit message block fills the whole 4 x 128-bit bank; the chaining
+state (Miyaguchi–Preneel) stays inside the core.
+
+``P_DATA_BLOCKS`` counts 512-bit blocks; the communication controller
+performs the ISO length padding, so the core only ever sees whole
+blocks (at most 32 per FIFO fill).
+"""
+
+from __future__ import annotations
+
+from repro.core.firmware.builder import FW
+from repro.unit.whirlpool_unit import WpOp, wp_encode
+
+
+class WpFW(FW):
+    """FW variant emitting Whirlpool-personality instruction bytes."""
+
+    def cu_byte(self, op, a: int = 0, b: int = 0) -> int:
+        return wp_encode(op, a, b)
+
+
+def build_whirlpool() -> str:
+    """Generate the Whirlpool hashing firmware source."""
+    fw = WpFW("Whirlpool hash firmware (reconfigured CU)")
+    fw.raw("    INPUT  s0, 0x13          ; 512-bit block count")
+    fw.pred(WpOp.WPINIT, note="chain <- 0")
+
+    fw.label("block_loop")
+    for quarter in range(4):
+        fw.pred(WpOp.LOAD, quarter, note=f"message quarter {quarter}")
+    fw.pred(WpOp.SWPC, note="start compress")
+    fw.fin(WpOp.FWPC, note="wait compress")
+    fw.raw("    SUB    s0, 1")
+    fw.raw("    JUMP   NZ, block_loop")
+
+    for quarter in range(4):
+        fw.pred(WpOp.WPDIG, quarter, note=f"digest quarter {quarter}")
+        fw.pred(WpOp.STORE, quarter)
+    fw.result_ok()
+    return fw.source()

@@ -1,0 +1,138 @@
+"""Task parameters a core receives from the Task Scheduler.
+
+Section VI.B: "the Task Scheduler ... sends channel and packet
+parameters to the core (including the algorithm ID, the authenticated
+only field size, the plaintext field size and the tag length for
+authenticated channel)".  :class:`TaskParams` is that parameter block;
+it is exposed to firmware through the controller's input ports.
+
+All sizes are in 128-bit blocks because the cores only ever see
+formatted, padded data (the communication controller does the byte-level
+formatting); the two 16-bit masks carry the partial-block information
+the firmware needs for the final data block and the truncated tag.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import FirmwareError
+from repro.unit.cores.xor_core import mask_for_bytes
+
+
+class Algorithm(enum.IntEnum):
+    """Algorithm IDs carried by OPEN (paper section III.B)."""
+
+    CTR = 0x01
+    CBC_MAC = 0x02
+    CCM = 0x03
+    GCM = 0x04
+    WHIRLPOOL = 0x05
+
+
+class Direction(enum.IntEnum):
+    """Packet direction: ENCRYPT or DECRYPT instruction."""
+
+    ENCRYPT = 0
+    DECRYPT = 1
+
+
+class CcmRole(enum.IntEnum):
+    """Role of a core in a CCM task (section IV.D)."""
+
+    SINGLE = 0     # whole CCM on one core
+    MAC = 1        # CBC-MAC half of a two-core CCM
+    CTR = 2        # CTR half of a two-core CCM
+
+
+#: Port numbers of the parameter registers (controller INPUT space).
+PORT_ALGORITHM = 0x10
+PORT_KEY_SIZE = 0x11
+PORT_AAD_BLOCKS = 0x12
+PORT_DATA_BLOCKS = 0x13
+PORT_TAG_LENGTH = 0x14
+PORT_FLAGS = 0x15
+PORT_FINAL_MASK_LO = 0x16
+PORT_FINAL_MASK_HI = 0x17
+PORT_TAG_MASK_LO = 0x18
+PORT_TAG_MASK_HI = 0x19
+
+FLAG_DECRYPT = 0x01
+FLAG_ROLE_MAC = 0x02
+FLAG_ROLE_CTR = 0x04
+
+
+@dataclass(frozen=True)
+class TaskParams:
+    """One packet-processing task, as the firmware sees it."""
+
+    algorithm: Algorithm
+    key_bits: int = 128
+    aad_blocks: int = 0
+    data_blocks: int = 0
+    tag_length: int = 16
+    direction: Direction = Direction.ENCRYPT
+    role: CcmRole = CcmRole.SINGLE
+    #: Bytes valid in the final data block (1..16; 16 = full block).
+    final_block_bytes: int = 16
+
+    def __post_init__(self) -> None:
+        if self.key_bits not in (128, 192, 256):
+            raise FirmwareError(f"unsupported key size {self.key_bits}")
+        if not 0 <= self.aad_blocks <= 255:
+            raise FirmwareError(f"aad_blocks {self.aad_blocks} out of range")
+        if not 0 <= self.data_blocks <= 255:
+            raise FirmwareError(f"data_blocks {self.data_blocks} out of range")
+        if not 0 <= self.tag_length <= 16:
+            raise FirmwareError(f"tag_length {self.tag_length} out of range")
+        if not 1 <= self.final_block_bytes <= 16:
+            raise FirmwareError(
+                f"final_block_bytes {self.final_block_bytes} out of range"
+            )
+
+    @property
+    def final_mask(self) -> int:
+        """XOR mask for the final data block."""
+        return mask_for_bytes(self.final_block_bytes)
+
+    @property
+    def tag_mask(self) -> int:
+        """XOR/EQU mask for the (possibly truncated) tag."""
+        return mask_for_bytes(self.tag_length)
+
+    @property
+    def flags_byte(self) -> int:
+        """The FLAGS parameter register value."""
+        flags = 0
+        if self.direction is Direction.DECRYPT:
+            flags |= FLAG_DECRYPT
+        if self.role is CcmRole.MAC:
+            flags |= FLAG_ROLE_MAC
+        elif self.role is CcmRole.CTR:
+            flags |= FLAG_ROLE_CTR
+        return flags
+
+    @property
+    def key_size_code(self) -> int:
+        """0/1/2 for 128/192/256-bit keys (KEY_SIZE register)."""
+        return {128: 0, 192: 1, 256: 2}[self.key_bits]
+
+    def port_value(self, port: int) -> int:
+        """Parameter-register read dispatch for the controller."""
+        table = {
+            PORT_ALGORITHM: int(self.algorithm),
+            PORT_KEY_SIZE: self.key_size_code,
+            PORT_AAD_BLOCKS: self.aad_blocks,
+            PORT_DATA_BLOCKS: self.data_blocks,
+            PORT_TAG_LENGTH: self.tag_length,
+            PORT_FLAGS: self.flags_byte,
+            PORT_FINAL_MASK_LO: self.final_mask & 0xFF,
+            PORT_FINAL_MASK_HI: (self.final_mask >> 8) & 0xFF,
+            PORT_TAG_MASK_LO: self.tag_mask & 0xFF,
+            PORT_TAG_MASK_HI: (self.tag_mask >> 8) & 0xFF,
+        }
+        try:
+            return table[port]
+        except KeyError as exc:
+            raise FirmwareError(f"unknown parameter port {port:#04x}") from exc

@@ -1,0 +1,112 @@
+"""AES constant tables, generated algebraically at import time.
+
+Generating the S-box from the GF(2^8) inverse plus the affine map (and
+the round constants from repeated doubling) avoids transcription errors
+in 256-entry literal tables and documents *why* the tables hold the
+values they do (FIPS-197 sections 4.2 and 5.1.1).
+
+The hardware prototype stores SubBytes in FPGA look-up tables (paper
+section V.A, citing Chodowiec & Gaj); these tables are the software
+equivalent of those LUTs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+AES_POLY = 0x11B  # x^8 + x^4 + x^3 + x + 1, the Rijndael field polynomial
+
+
+def gf_mul(a: int, b: int) -> int:
+    """Multiply two elements of GF(2^8) modulo the Rijndael polynomial."""
+    result = 0
+    a &= 0xFF
+    b &= 0xFF
+    while b:
+        if b & 1:
+            result ^= a
+        a <<= 1
+        if a & 0x100:
+            a ^= AES_POLY
+        b >>= 1
+    return result & 0xFF
+
+
+def _gf_inverse_table() -> List[int]:
+    """Tabulate multiplicative inverses in GF(2^8) via the generator 3.
+
+    0x03 generates the multiplicative group of the Rijndael field, so
+    exponent/log tables give every inverse without per-element
+    extended-Euclid runs.
+    """
+    exp = [0] * 255
+    log = [0] * 256
+    x = 1
+    for i in range(255):
+        exp[i] = x
+        log[x] = i
+        x = gf_mul(x, 0x03)
+    inv = [0] * 256
+    for a in range(1, 256):
+        inv[a] = exp[(255 - log[a]) % 255]
+    return inv
+
+
+def _affine(x: int) -> int:
+    """The FIPS-197 affine transformation over GF(2)."""
+    result = 0
+    for bit in range(8):
+        b = (
+            (x >> bit)
+            ^ (x >> ((bit + 4) % 8))
+            ^ (x >> ((bit + 5) % 8))
+            ^ (x >> ((bit + 6) % 8))
+            ^ (x >> ((bit + 7) % 8))
+            ^ (0x63 >> bit)
+        ) & 1
+        result |= b << bit
+    return result
+
+
+def _build_sboxes() -> Tuple[List[int], List[int]]:
+    inv = _gf_inverse_table()
+    sbox = [_affine(inv[x]) for x in range(256)]
+    inv_sbox = [0] * 256
+    for x, s in enumerate(sbox):
+        inv_sbox[s] = x
+    return sbox, inv_sbox
+
+
+SBOX, INV_SBOX = _build_sboxes()
+
+# Round constants: RCON[i] = x^(i-1) in GF(2^8); index 0 unused, enough
+# entries for AES-128's 10 rounds (the longest rcon consumer).
+RCON: List[int] = [0]
+_rc = 1
+for _ in range(14):
+    RCON.append(_rc)
+    _rc = gf_mul(_rc, 0x02)
+del _rc
+
+# MixColumns multiplication tables (by 2 and 3 for the forward cipher,
+# by 9, 11, 13, 14 for the inverse cipher).
+MUL2 = [gf_mul(x, 2) for x in range(256)]
+MUL3 = [gf_mul(x, 3) for x in range(256)]
+MUL9 = [gf_mul(x, 9) for x in range(256)]
+MUL11 = [gf_mul(x, 11) for x in range(256)]
+MUL13 = [gf_mul(x, 13) for x in range(256)]
+MUL14 = [gf_mul(x, 14) for x in range(256)]
+
+__all__ = [
+    "AES_POLY",
+    "SBOX",
+    "INV_SBOX",
+    "RCON",
+    "MUL2",
+    "MUL3",
+    "MUL9",
+    "MUL11",
+    "MUL13",
+    "MUL14",
+    "gf_mul",
+]

@@ -1,0 +1,42 @@
+"""Block-cipher modes of operation supported by the MCCP.
+
+The MCCP executes CTR, CBC-MAC, CCM and GCM (paper section IV.D).  These
+reference implementations follow the NIST special publications the paper
+cites: SP 800-38A (CTR), SP 800-38C (CCM, which subsumes CBC-MAC) and
+SP 800-38D (GCM/GMAC).  They serve as the gold model the device
+simulation is checked against, and they are usable as a normal software
+crypto library in their own right.
+"""
+
+from repro.crypto.modes.ctr import ctr_keystream, ctr_xcrypt
+from repro.crypto.modes.cbc_mac import cbc_mac
+from repro.crypto.modes.ccm import (
+    ccm_decrypt,
+    ccm_encrypt,
+    format_b0,
+    format_counter_block,
+    format_associated_data,
+)
+from repro.crypto.modes.gcm import (
+    gcm_decrypt,
+    gcm_encrypt,
+    gcm_j0,
+    gcm_length_block,
+)
+from repro.crypto.modes.gmac import gmac
+
+__all__ = [
+    "ctr_keystream",
+    "ctr_xcrypt",
+    "cbc_mac",
+    "ccm_decrypt",
+    "ccm_encrypt",
+    "format_b0",
+    "format_counter_block",
+    "format_associated_data",
+    "gcm_decrypt",
+    "gcm_encrypt",
+    "gcm_j0",
+    "gcm_length_block",
+    "gmac",
+]

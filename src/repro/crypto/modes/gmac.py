@@ -1,0 +1,26 @@
+"""GMAC — GCM with an empty plaintext (SP 800-38D section 3).
+
+Authentication-only channels (the "authenticated only data" of the
+paper's ENCRYPT instruction with ``Data Size == 0``) reduce GCM to GMAC;
+exposing it separately keeps that radio use case first-class.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.modes.gcm import gcm_decrypt, gcm_encrypt
+from repro.errors import AuthenticationFailure
+
+
+def gmac(key: bytes, iv: bytes, aad: bytes, tag_length: int = 16) -> bytes:
+    """Compute the GMAC tag over *aad*."""
+    _, tag = gcm_encrypt(key, iv, b"", aad=aad, tag_length=tag_length)
+    return tag
+
+
+def gmac_verify(key: bytes, iv: bytes, aad: bytes, tag: bytes) -> bool:
+    """Verify a GMAC tag; returns True/False rather than raising."""
+    try:
+        gcm_decrypt(key, iv, b"", tag, aad=aad)
+    except AuthenticationFailure:
+        return False
+    return True

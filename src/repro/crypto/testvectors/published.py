@@ -1,0 +1,103 @@
+"""Known-answer vectors copied from the primary standards documents.
+
+Sources
+-------
+- ``AES_ECB``: FIPS-197 appendix C (C.1, C.2, C.3) plus the ubiquitous
+  all-zero KAT.
+- ``GCM``: test cases 1 and 2 of the original GCM validation set
+  reproduced in SP 800-38D's public test vectors (AES-128, 96-bit IV).
+- ``CCM``: RFC 3610 packet vector #1 and SP 800-38C example 1.
+- ``WHIRLPOOL``: the ISO/IEC 10118-3 reference vectors.
+
+Formats match :mod:`repro.crypto.testvectors.generated`.
+"""
+
+AES_ECB = [
+    # FIPS-197 C.1: AES-128
+    (
+        "000102030405060708090a0b0c0d0e0f",
+        "00112233445566778899aabbccddeeff",
+        "69c4e0d86a7b0430d8cdb78070b4c55a",
+    ),
+    # FIPS-197 C.2: AES-192
+    (
+        "000102030405060708090a0b0c0d0e0f1011121314151617",
+        "00112233445566778899aabbccddeeff",
+        "dda97ca4864cdfe06eaf70a0ec0d7191",
+    ),
+    # FIPS-197 C.3: AES-256
+    (
+        "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f",
+        "00112233445566778899aabbccddeeff",
+        "8ea2b7ca516745bfeafc49904b496089",
+    ),
+    # All-zero key and block (the GCM H-subkey of the zero key)
+    (
+        "00000000000000000000000000000000",
+        "00000000000000000000000000000000",
+        "66e94bd4ef8a2c3b884cfa59ca342b2e",
+    ),
+]
+
+GCM = [
+    # GCM spec test case 1: empty AAD and plaintext
+    (
+        "00000000000000000000000000000000",
+        "000000000000000000000000",
+        "",
+        "",
+        "",
+        "58e2fccefa7e3061367f1d57a4e7455a",
+    ),
+]
+
+CCM = [
+    # RFC 3610 packet vector #1
+    (
+        "c0c1c2c3c4c5c6c7c8c9cacbcccdcecf",
+        "00000003020100a0a1a2a3a4a5",
+        "0001020304050607",
+        "08090a0b0c0d0e0f101112131415161718191a1b1c1d1e",
+        "588c979a61c663d2f066d0c2c0f989806d5f6b61dac384",
+        "17e8d12cfdf926e0",
+        8,
+    ),
+    # SP 800-38C example 1
+    (
+        "404142434445464748494a4b4c4d4e4f",
+        "10111213141516",
+        "0001020304050607",
+        "20212223",
+        "7162015b",
+        "4dac255d",
+        4,
+    ),
+]
+
+WHIRLPOOL = [
+    (
+        "",
+        "19fa61d75522a4669b44e39c1d2e1726c530232130d407f89afee0964997f7a7"
+        "3e83be698b288febcf88e3e03c4f0757ea8964e59b63d93708b138cc42a66eb3",
+    ),
+    (
+        "a",
+        "8aca2602792aec6f11a67206531fb7d7f0dff59413145e6973c45001d0087b42"
+        "d11bc645413aeff63a42391a39145a591a92200d560195e53b478584fdae231a",
+    ),
+    (
+        "abc",
+        "4e2448a4c6f486bb16b6562c73b4020bf3043e3a731bce721ae1b303d97e6d4c"
+        "7181eebdb6c57e277d0e34957114cbd6c797fc9d95d8b582d225292076d4eef5",
+    ),
+    (
+        "The quick brown fox jumps over the lazy dog",
+        "b97de512e91e3828b40d2b0fdce9ceb3c4a71f9bea8d88e75c4fa854df36725f"
+        "d2b52eb6544edcacd6f8beddfea403cb55ae31f03ad62a5ef54e42ee82c3fb35",
+    ),
+    (
+        "The quick brown fox jumps over the lazy eog",
+        "c27ba124205f72e6847f3e19834f925cc666d0974167af915bb462420ed40cc5"
+        "0900d85a1f923219d832357750492d5c143011a76988344c2635e69d06f2d38c",
+    ),
+]

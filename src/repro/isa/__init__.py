@@ -1,0 +1,34 @@
+"""The 8-bit controller ISA (PicoBlaze-like).
+
+The MCCP uses the same small soft controller in two places: the Task
+Scheduler and one per Cryptographic Core (paper sections III.A and
+IV.B).  The prototype used a modified Xilinx PicoBlaze: 16 8-bit
+registers, 1024 x 18-bit instruction memory, two clock cycles per
+instruction, interrupt support and a custom ``HALT`` that sleeps the
+controller until the Cryptographic Unit pulses ``done``.
+
+This subpackage provides:
+
+- :mod:`repro.isa.opcodes` — the instruction encodings (18-bit words);
+- :mod:`repro.isa.assembler` — a two-pass text assembler with labels
+  and ``CONSTANT`` directives, in PicoBlaze assembler style;
+- :mod:`repro.isa.program` — an assembled, decoded program image;
+- :mod:`repro.isa.controller` — the interpreter, which runs as a
+  process on the :mod:`repro.sim` kernel (2 cycles/instruction).
+"""
+
+from repro.isa.opcodes import Cond, Op, decode, encode
+from repro.isa.assembler import assemble
+from repro.isa.program import Program
+from repro.isa.controller import Controller8, PortDevice
+
+__all__ = [
+    "Cond",
+    "Op",
+    "decode",
+    "encode",
+    "assemble",
+    "Program",
+    "Controller8",
+    "PortDevice",
+]

@@ -1,0 +1,303 @@
+"""The 8-bit controller interpreter (a simulation process).
+
+Semantics follow the PicoBlaze model the paper's prototype modified:
+
+- 16 8-bit registers ``s0``..``sF``; Z and C flags; 64-byte scratchpad;
+  a 30-deep call stack; 10-bit PC.
+- Every instruction takes **2 clock cycles** (paper section IV.B).
+- ``INPUT``/``OUTPUT`` delegate to a :class:`PortDevice`.  Output port
+  writes are presented to the device at the *start* of the instruction
+  (the hardware write strobe), which is what lets firmware start a
+  Cryptographic Unit operation and keep executing — the overlap the
+  paper's Listing 1 exploits with its NOP padding.
+- ``HALT`` (the paper's custom instruction) sleeps until the wake wire
+  pulses; a latched pulse that arrived early is consumed immediately.
+- Interrupts: when enabled and the interrupt wire has a pending pulse,
+  the controller pushes the PC and vectors to the last instruction
+  -memory word (PicoBlaze convention) before the next fetch.
+
+Flag semantics (PicoBlaze): logical ops clear C and set Z; arithmetic
+sets C on carry/borrow and Z on zero result; shifts/rotates move the
+shifted-out bit into C; LOAD/INPUT/FETCH/STORE/OUTPUT leave flags
+untouched; COMPARE sets flags like SUB without writing the register.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, List, Optional, Protocol
+
+from repro.errors import ExecutionError
+from repro.isa.opcodes import Op
+from repro.isa.program import Program
+from repro.sim.kernel import Delay, Simulator
+from repro.sim.signals import PulseWire
+
+CYCLES_PER_INSTRUCTION = 2
+STACK_DEPTH = 30
+SCRATCHPAD_BYTES = 64
+
+
+class PortDevice(Protocol):
+    """What the controller is wired to (the Cryptographic Core binds this)."""
+
+    def read_port(self, port: int) -> int:
+        """Handle ``INPUT``: return the byte at *port*."""
+        ...  # pragma: no cover - protocol
+
+    def write_port(self, port: int, value: int) -> None:
+        """Handle ``OUTPUT``: accept *value* written to *port*."""
+        ...  # pragma: no cover - protocol
+
+
+class _NullDevice:
+    def read_port(self, port: int) -> int:
+        return 0
+
+    def write_port(self, port: int, value: int) -> None:
+        return None
+
+
+class Controller8:
+    """One 8-bit controller instance.
+
+    Parameters
+    ----------
+    sim:
+        The simulation kernel.
+    program:
+        Assembled instruction memory (possibly shared with a neighbour
+        core, as in the paper).
+    device:
+        Port handler; defaults to a null device.
+    name:
+        Trace/diagnostic name.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        program: Program,
+        device: Optional[PortDevice] = None,
+        name: str = "ctrl",
+    ):
+        self.sim = sim
+        self.program = program
+        self.device: PortDevice = device if device is not None else _NullDevice()
+        self.name = name
+
+        self.regs: List[int] = [0] * 16
+        self.zero = False
+        self.carry = False
+        self.pc = 0
+        self.stack: List[int] = []
+        self.scratchpad: List[int] = [0] * SCRATCHPAD_BYTES
+        self.interrupts_enabled = False
+        self._preserved_flags: Optional[tuple] = None
+
+        #: Wake line for HALT (the CU done strobe in a Cryptographic Core).
+        self.wake = PulseWire(sim, f"{name}.wake")
+        self._irq_pending = False
+        self.irq_vector = max(len(program) - 1, 0)
+
+        #: Executed-instruction counter (for CPI checks in tests).
+        self.instructions_retired = 0
+        self.halted_cycles = 0
+        self._stopped = False
+
+    # -- helpers ------------------------------------------------------------
+
+    def stop(self) -> None:
+        """Request the run loop to finish after the current instruction."""
+        self._stopped = True
+
+    def load_program(self, program: Program, start_pc: int = 0) -> None:
+        """Swap instruction memory (firmware reload by the Task Scheduler)."""
+        self.program = program
+        self.pc = start_pc
+        self.irq_vector = max(len(program) - 1, 0)
+
+    def _set_zc_logical(self, value: int) -> None:
+        self.zero = value == 0
+        self.carry = False
+
+    def _alu_source(self, decoded) -> int:
+        if decoded.op.name.endswith("_R"):
+            return self.regs[(decoded.operand >> 4) & 0xF]
+        return decoded.operand
+
+    # -- the process ----------------------------------------------------------
+
+    def run(self, entry: Optional[str] = None) -> Generator:
+        """Generator to hand to ``sim.add_process``.
+
+        Runs until the program falls off the end, ``stop()`` is called,
+        or a RETURN executes with an empty stack (treated as firmware
+        completion, returning from the top-level routine).
+        """
+        if entry is not None:
+            self.pc = self.program.label(entry)
+        while not self._stopped:
+            if self.interrupts_enabled and self._irq_pending:
+                self._irq_pending = False
+                if len(self.stack) >= STACK_DEPTH:
+                    raise ExecutionError(f"{self.name}: stack overflow on IRQ")
+                self.stack.append(self.pc)
+                self._preserved_flags = (self.zero, self.carry)
+                self.interrupts_enabled = False
+                self.pc = self.irq_vector
+
+            if self.pc >= len(self.program):
+                return None
+            decoded = self.program.fetch(self.pc)
+            op = decoded.op
+            self.pc += 1
+            self.instructions_retired += 1
+
+            if op is Op.HALT:
+                # Sleep until the wake wire pulses (done-latch absorbed
+                # inside PulseWire).  Cost: the 2 base cycles, plus
+                # however long the sleep lasts.
+                start = self.sim.now
+                yield Delay(CYCLES_PER_INSTRUCTION)
+                yield self.wake.wait()
+                self.halted_cycles += self.sim.now - start - CYCLES_PER_INSTRUCTION
+                continue
+
+            self._execute(decoded)
+            yield Delay(CYCLES_PER_INSTRUCTION)
+        return None
+
+    def post_irq(self) -> None:
+        """Raise the interrupt line (taken before the next fetch)."""
+        self._irq_pending = True
+
+    # -- instruction semantics --------------------------------------------
+
+    def _execute(self, decoded) -> None:
+        op = decoded.op
+        sx = decoded.sx
+        if op is Op.NOP:
+            return
+        if op in (Op.LOAD, Op.LOAD_R):
+            self.regs[sx] = self._alu_source(decoded) & 0xFF
+        elif op in (Op.AND, Op.AND_R):
+            self.regs[sx] &= self._alu_source(decoded)
+            self._set_zc_logical(self.regs[sx])
+        elif op in (Op.OR, Op.OR_R):
+            self.regs[sx] |= self._alu_source(decoded)
+            self._set_zc_logical(self.regs[sx])
+        elif op in (Op.XOR, Op.XOR_R):
+            self.regs[sx] ^= self._alu_source(decoded)
+            self._set_zc_logical(self.regs[sx])
+        elif op in (Op.ADD, Op.ADD_R):
+            total = self.regs[sx] + self._alu_source(decoded)
+            self.carry = total > 0xFF
+            self.regs[sx] = total & 0xFF
+            self.zero = self.regs[sx] == 0
+        elif op in (Op.ADDCY, Op.ADDCY_R):
+            total = self.regs[sx] + self._alu_source(decoded) + int(self.carry)
+            self.carry = total > 0xFF
+            self.regs[sx] = total & 0xFF
+            self.zero = self.regs[sx] == 0
+        elif op in (Op.SUB, Op.SUB_R):
+            diff = self.regs[sx] - self._alu_source(decoded)
+            self.carry = diff < 0
+            self.regs[sx] = diff & 0xFF
+            self.zero = self.regs[sx] == 0
+        elif op in (Op.SUBCY, Op.SUBCY_R):
+            diff = self.regs[sx] - self._alu_source(decoded) - int(self.carry)
+            self.carry = diff < 0
+            self.regs[sx] = diff & 0xFF
+            self.zero = self.regs[sx] == 0
+        elif op in (Op.COMPARE, Op.COMPARE_R):
+            diff = self.regs[sx] - self._alu_source(decoded)
+            self.carry = diff < 0
+            self.zero = (diff & 0xFF) == 0
+        elif op is Op.SR0:
+            self.carry = bool(self.regs[sx] & 1)
+            self.regs[sx] >>= 1
+            self.zero = self.regs[sx] == 0
+        elif op is Op.SL0:
+            self.carry = bool(self.regs[sx] & 0x80)
+            self.regs[sx] = (self.regs[sx] << 1) & 0xFF
+            self.zero = self.regs[sx] == 0
+        elif op is Op.RR:
+            low = self.regs[sx] & 1
+            self.regs[sx] = (self.regs[sx] >> 1) | (low << 7)
+            self.carry = bool(low)
+            self.zero = self.regs[sx] == 0
+        elif op is Op.RL:
+            high = (self.regs[sx] >> 7) & 1
+            self.regs[sx] = ((self.regs[sx] << 1) & 0xFF) | high
+            self.carry = bool(high)
+            self.zero = self.regs[sx] == 0
+        elif op is Op.INPUT:
+            self.regs[sx] = self.device.read_port(decoded.operand) & 0xFF
+        elif op is Op.INPUT_R:
+            port = self.regs[(decoded.operand >> 4) & 0xF]
+            self.regs[sx] = self.device.read_port(port) & 0xFF
+        elif op is Op.OUTPUT:
+            self.device.write_port(decoded.operand, self.regs[sx])
+        elif op is Op.OUTPUT_R:
+            port = self.regs[(decoded.operand >> 4) & 0xF]
+            self.device.write_port(port, self.regs[sx])
+        elif op is Op.STORE:
+            self._scratch_write(decoded.operand, self.regs[sx])
+        elif op is Op.STORE_R:
+            self._scratch_write(self.regs[(decoded.operand >> 4) & 0xF], self.regs[sx])
+        elif op is Op.FETCH:
+            self.regs[sx] = self._scratch_read(decoded.operand)
+        elif op is Op.FETCH_R:
+            self.regs[sx] = self._scratch_read(self.regs[(decoded.operand >> 4) & 0xF])
+        elif op in (Op.JUMP, Op.JUMP_Z, Op.JUMP_NZ, Op.JUMP_C, Op.JUMP_NC):
+            if self._condition(op):
+                self.pc = decoded.addr
+        elif op in (Op.CALL, Op.CALL_Z, Op.CALL_NZ, Op.CALL_C, Op.CALL_NC):
+            if self._condition(op):
+                if len(self.stack) >= STACK_DEPTH:
+                    raise ExecutionError(f"{self.name}: call stack overflow")
+                self.stack.append(self.pc)
+                self.pc = decoded.addr
+        elif op in (Op.RETURN, Op.RETURN_Z, Op.RETURN_NZ, Op.RETURN_C, Op.RETURN_NC):
+            if self._condition(op):
+                if not self.stack:
+                    # Returning from the top level ends the firmware run.
+                    self._stopped = True
+                else:
+                    self.pc = self.stack.pop()
+        elif op in (Op.RETURNI_E, Op.RETURNI_D):
+            if not self.stack:
+                raise ExecutionError(f"{self.name}: RETURNI with empty stack")
+            self.pc = self.stack.pop()
+            if self._preserved_flags is not None:
+                self.zero, self.carry = self._preserved_flags
+                self._preserved_flags = None
+            self.interrupts_enabled = op is Op.RETURNI_E
+        elif op is Op.EINT:
+            self.interrupts_enabled = True
+        elif op is Op.DINT:
+            self.interrupts_enabled = False
+        else:  # pragma: no cover - decode() prevents this
+            raise ExecutionError(f"{self.name}: unimplemented op {op!r}")
+
+    def _condition(self, op: Op) -> bool:
+        name = op.name
+        if name.endswith("_Z"):
+            return self.zero
+        if name.endswith("_NZ"):
+            return not self.zero
+        if name.endswith("_NC"):
+            return not self.carry
+        if name.endswith("_C"):
+            return self.carry
+        return True
+
+    def _scratch_write(self, addr: int, value: int) -> None:
+        if not 0 <= addr < SCRATCHPAD_BYTES:
+            raise ExecutionError(f"{self.name}: scratchpad address {addr:#x}")
+        self.scratchpad[addr] = value & 0xFF
+
+    def _scratch_read(self, addr: int) -> int:
+        if not 0 <= addr < SCRATCHPAD_BYTES:
+            raise ExecutionError(f"{self.name}: scratchpad address {addr:#x}")
+        return self.scratchpad[addr]

@@ -1,0 +1,200 @@
+"""Instruction encodings for the 8-bit controller.
+
+Each instruction is one 18-bit word.  The layout follows the PicoBlaze
+approach of folding the condition into the opcode (KCPSM3 does the
+same), which keeps the decoder a flat table:
+
+- bits [17:12]: 6-bit opcode
+- ALU/IO forms: bits [11:8] = sX, bits [7:0] = immediate ``kk``
+  (or sY in bits [7:4] for register forms)
+- flow control: bits [9:0] = 10-bit target address (full 1024-word
+  instruction memory)
+
+Every ALU op has an immediate form and a register form as two distinct
+opcodes (the ``_R`` suffix); every conditional flow op is its own
+opcode (``JUMP_Z`` etc.).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import NamedTuple
+
+from repro.errors import DecodeError
+
+WORD_BITS = 18
+WORD_MASK = (1 << WORD_BITS) - 1
+ADDR_MASK = 0x3FF
+IMEM_WORDS = 1024
+
+
+class Op(enum.IntEnum):
+    """Opcodes (6-bit)."""
+
+    NOP = 0x00
+    LOAD = 0x01      # LOAD sX, kk
+    LOAD_R = 0x02    # LOAD sX, sY
+    AND = 0x03
+    AND_R = 0x04
+    OR = 0x05
+    OR_R = 0x06
+    XOR = 0x07
+    XOR_R = 0x08
+    ADD = 0x09
+    ADD_R = 0x0A
+    ADDCY = 0x0B
+    ADDCY_R = 0x0C
+    SUB = 0x0D
+    SUB_R = 0x0E
+    SUBCY = 0x0F
+    SUBCY_R = 0x10
+    COMPARE = 0x11
+    COMPARE_R = 0x12
+    SR0 = 0x13       # shift right, zero fill
+    SL0 = 0x14       # shift left, zero fill
+    RR = 0x15        # rotate right
+    RL = 0x16        # rotate left
+    INPUT = 0x17     # INPUT sX, pp
+    INPUT_R = 0x18   # INPUT sX, (sY)
+    OUTPUT = 0x19    # OUTPUT sX, pp
+    OUTPUT_R = 0x1A  # OUTPUT sX, (sY)
+    STORE = 0x1B     # STORE sX, ss   (64-byte scratchpad)
+    STORE_R = 0x1C   # STORE sX, (sY)
+    FETCH = 0x1D     # FETCH sX, ss
+    FETCH_R = 0x1E   # FETCH sX, (sY)
+    JUMP = 0x1F
+    JUMP_Z = 0x20
+    JUMP_NZ = 0x21
+    JUMP_C = 0x22
+    JUMP_NC = 0x23
+    CALL = 0x24
+    CALL_Z = 0x25
+    CALL_NZ = 0x26
+    CALL_C = 0x27
+    CALL_NC = 0x28
+    RETURN = 0x29
+    RETURN_Z = 0x2A
+    RETURN_NZ = 0x2B
+    RETURN_C = 0x2C
+    RETURN_NC = 0x2D
+    RETURNI_E = 0x2E  # return from interrupt, re-enable interrupts
+    RETURNI_D = 0x2F  # return from interrupt, leave disabled
+    EINT = 0x30       # ENABLE INTERRUPT
+    DINT = 0x31       # DISABLE INTERRUPT
+    HALT = 0x32       # custom sleep-until-done (paper section IV.B)
+
+
+class Cond(enum.IntEnum):
+    """Assembler-level condition names (mapped to opcode variants)."""
+
+    ALWAYS = 0
+    Z = 1
+    NZ = 2
+    C = 3
+    NC = 4
+
+
+#: Flow-control base opcodes and their conditional variants.
+FLOW_VARIANTS = {
+    "JUMP": {
+        Cond.ALWAYS: Op.JUMP,
+        Cond.Z: Op.JUMP_Z,
+        Cond.NZ: Op.JUMP_NZ,
+        Cond.C: Op.JUMP_C,
+        Cond.NC: Op.JUMP_NC,
+    },
+    "CALL": {
+        Cond.ALWAYS: Op.CALL,
+        Cond.Z: Op.CALL_Z,
+        Cond.NZ: Op.CALL_NZ,
+        Cond.C: Op.CALL_C,
+        Cond.NC: Op.CALL_NC,
+    },
+    "RETURN": {
+        Cond.ALWAYS: Op.RETURN,
+        Cond.Z: Op.RETURN_Z,
+        Cond.NZ: Op.RETURN_NZ,
+        Cond.C: Op.RETURN_C,
+        Cond.NC: Op.RETURN_NC,
+    },
+}
+
+#: All opcodes that take a 10-bit address operand.
+ADDRESS_OPS = frozenset(
+    op for variants in FLOW_VARIANTS.values() for op in variants.values()
+) - {Op.RETURN, Op.RETURN_Z, Op.RETURN_NZ, Op.RETURN_C, Op.RETURN_NC}
+
+#: Opcodes taking no operand at all.
+NULLARY_OPS = frozenset(
+    {
+        Op.NOP,
+        Op.RETURN,
+        Op.RETURN_Z,
+        Op.RETURN_NZ,
+        Op.RETURN_C,
+        Op.RETURN_NC,
+        Op.RETURNI_E,
+        Op.RETURNI_D,
+        Op.EINT,
+        Op.DINT,
+        Op.HALT,
+    }
+)
+
+#: Register-register ALU/IO forms (operand holds sY in bits [7:4]).
+REGISTER_FORMS = frozenset(
+    {
+        Op.LOAD_R,
+        Op.AND_R,
+        Op.OR_R,
+        Op.XOR_R,
+        Op.ADD_R,
+        Op.ADDCY_R,
+        Op.SUB_R,
+        Op.SUBCY_R,
+        Op.COMPARE_R,
+        Op.INPUT_R,
+        Op.OUTPUT_R,
+        Op.STORE_R,
+        Op.FETCH_R,
+    }
+)
+
+#: Single-register shift/rotate ops.
+SHIFT_OPS = frozenset({Op.SR0, Op.SL0, Op.RR, Op.RL})
+
+
+class Decoded(NamedTuple):
+    """A decoded instruction word."""
+
+    op: Op
+    sx: int       # register index (ALU/IO) — 0 for flow control
+    operand: int  # kk / port / scratchpad addr; sY lives in bits [7:4]
+    addr: int     # flow-control target
+
+
+def encode(op: Op, sx: int = 0, operand: int = 0, addr: int = 0) -> int:
+    """Pack an instruction into an 18-bit word."""
+    if op in ADDRESS_OPS:
+        if not 0 <= addr <= ADDR_MASK:
+            raise DecodeError(f"address {addr:#x} out of range")
+        return (int(op) << 12) | addr
+    if not 0 <= sx <= 0xF:
+        raise DecodeError(f"register index {sx} out of range")
+    if not 0 <= operand <= 0xFF:
+        raise DecodeError(f"operand {operand:#x} out of range")
+    return (int(op) << 12) | (sx << 8) | operand
+
+
+def decode(word: int) -> Decoded:
+    """Unpack an 18-bit instruction word."""
+    if not 0 <= word <= WORD_MASK:
+        raise DecodeError(f"word {word:#x} exceeds 18 bits")
+    op_bits = (word >> 12) & 0x3F
+    try:
+        op = Op(op_bits)
+    except ValueError as exc:
+        raise DecodeError(f"unknown opcode {op_bits:#x}") from exc
+    if op in ADDRESS_OPS:
+        return Decoded(op, 0, 0, word & ADDR_MASK)
+    return Decoded(op, (word >> 8) & 0xF, word & 0xFF, 0)

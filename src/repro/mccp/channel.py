@@ -1,0 +1,47 @@
+"""Channel state (paper section III.B: OPEN/CLOSE lifecycle).
+
+A channel binds an algorithm to a session key id.  Packets from the
+same channel may be processed concurrently on different cores
+(section IV.D), so the channel itself holds no per-packet state.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.core.params import Algorithm
+
+
+class ChannelState(enum.Enum):
+    """Lifecycle of a channel."""
+
+    OPEN = "open"
+    CLOSED = "closed"
+
+
+@dataclass
+class Channel:
+    """One open communication channel."""
+
+    channel_id: int
+    algorithm: Algorithm
+    key_id: int
+    key_bits: int
+    state: ChannelState = ChannelState.OPEN
+    #: Default tag length for the channel's packets (bytes).
+    tag_length: int = 16
+    #: Statistics.
+    packets_processed: int = 0
+    bytes_processed: int = 0
+    auth_failures: int = 0
+    stats: dict = field(default_factory=dict)
+
+    @property
+    def is_open(self) -> bool:
+        """Whether the channel accepts new packet requests."""
+        return self.state is ChannelState.OPEN
+
+    def close(self) -> None:
+        """Transition to CLOSED (idempotent)."""
+        self.state = ChannelState.CLOSED

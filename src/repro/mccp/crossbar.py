@@ -1,0 +1,80 @@
+"""The Cross Bar (paper section III.A).
+
+"Each Cryptographic Core communicates with the communication controller
+through the Cross Bar; it enables the Task Scheduler to select a
+specific core for I/O access."  The model tracks which core currently
+owns the external I/O port (granted by RETRIEVE DATA / the upload phase
+of ENCRYPT) and charges one cycle per 32-bit word moved, which is what
+serialises concurrent packet uploads in the multi-core benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.crypto_core import CryptoCore
+from repro.sim.kernel import Delay, Simulator
+from repro.unit.timing import TimingModel
+from repro.utils.bits import bytes_to_words32
+
+
+class Crossbar:
+    """External-port arbiter plus word-transfer engine."""
+
+    def __init__(self, sim: Simulator, timing: TimingModel):
+        self.sim = sim
+        self.timing = timing
+        self._granted: Optional[int] = None
+        #: Total words moved through the external port (both directions).
+        self.words_moved = 0
+
+    @property
+    def granted_core(self) -> Optional[int]:
+        """Index of the core currently granted external I/O (None = none)."""
+        return self._granted
+
+    def grant(self, core_index: int) -> None:
+        """Connect *core_index* to the external port."""
+        self._granted = core_index
+
+    def release(self) -> None:
+        """Disconnect the external port."""
+        self._granted = None
+
+    # -- transfer processes ----------------------------------------------------
+    #
+    # Transfers charge per-word cycles but are not serialised against the
+    # grant: the model assumes a multi-port switch (each core port can
+    # move one word per cycle concurrently).  ``grant`` tracks the
+    # RETRIEVE-DATA protocol state only.
+
+    def upload_blocks(self, core: CryptoCore, blocks) -> "object":
+        """Process: stream *blocks* into the core's input FIFO."""
+
+        def proc():
+            for block in blocks:
+                for word in bytes_to_words32(block):
+                    while not core.in_fifo.can_push():
+                        yield core.in_fifo.wait_not_full()
+                    core.in_fifo.push_word(word)
+                    self.words_moved += 1
+                    yield Delay(self.timing.crossbar_word_cycles)
+            return self.sim.now
+
+        return self.sim.add_process(proc(), name=f"xbar.up.{core.name}")
+
+    def download_words(self, core: CryptoCore, sink: list, nwords: int) -> "object":
+        """Process: pop exactly *nwords* words from the core's output FIFO."""
+
+        def proc():
+            remaining = nwords
+            while remaining > 0:
+                while not core.out_fifo.can_pop():
+                    yield core.out_fifo.wait_not_empty()
+                sink.append(core.out_fifo.pop_word())
+                self.words_moved += 1
+                remaining -= 1
+                yield Delay(self.timing.crossbar_word_cycles)
+            return self.sim.now
+
+        return self.sim.add_process(proc(), name=f"xbar.down.{core.name}")

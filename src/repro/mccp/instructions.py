@@ -1,0 +1,150 @@
+"""The 32-bit control instruction set (paper section III.B).
+
+Encoding (our concrete layout for the paper's abstract format)::
+
+    bits [31:28]  opcode
+    bits [27:20]  operand A   (algorithm / channel id)
+    bits [19:10]  operand B   (key id / header size in blocks)
+    bits [9:0]    operand C   (data size in blocks)
+
+Header/data sizes are carried in 128-bit blocks (the communication
+controller formats packets before upload, so block counts are what the
+cores consume).  The 8-bit return register carries a :class:`ReturnCode`
+in the low nibble and a channel/request id in the high nibble for the
+instructions that return one.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Union
+
+from repro.core.params import Algorithm
+from repro.errors import ProtocolError
+
+
+class Opcode(enum.IntEnum):
+    """Instruction opcodes."""
+
+    OPEN = 0x1
+    CLOSE = 0x2
+    ENCRYPT = 0x3
+    DECRYPT = 0x4
+    RETRIEVE_DATA = 0x5
+    TRANSFER_DONE = 0x6
+
+
+class ReturnCode(enum.IntEnum):
+    """Low-nibble return codes in the return register."""
+
+    OK = 0x1
+    ERROR = 0x2
+    NO_RESOURCE = 0x3
+    AUTH_FAIL = 0x4
+    UNKNOWN_CHANNEL = 0x5
+    NOT_READY = 0x6
+
+
+@dataclass(frozen=True)
+class OpenInstr:
+    """OPEN Algorithm, Key ID -> channel id or error."""
+
+    algorithm: Algorithm
+    key_id: int
+
+
+@dataclass(frozen=True)
+class CloseInstr:
+    """CLOSE Channel ID."""
+
+    channel_id: int
+
+
+@dataclass(frozen=True)
+class EncryptInstr:
+    """ENCRYPT Channel ID, Header Size, Data Size (sizes in blocks)."""
+
+    channel_id: int
+    header_blocks: int
+    data_blocks: int
+
+
+@dataclass(frozen=True)
+class DecryptInstr:
+    """DECRYPT Channel ID, Header Size, Data Size (sizes in blocks)."""
+
+    channel_id: int
+    header_blocks: int
+    data_blocks: int
+
+
+@dataclass(frozen=True)
+class RetrieveDataInstr:
+    """RETRIEVE DATA — after the Data Available interrupt."""
+
+
+@dataclass(frozen=True)
+class TransferDoneInstr:
+    """TRANSFER DONE — all FIFO I/O for the current request finished."""
+
+    request_id: int
+
+
+Instruction = Union[
+    OpenInstr, CloseInstr, EncryptInstr, DecryptInstr, RetrieveDataInstr, TransferDoneInstr
+]
+
+
+def encode_instruction(instr: Instruction) -> int:
+    """Pack an instruction into the 32-bit instruction register format."""
+    if isinstance(instr, OpenInstr):
+        return (Opcode.OPEN << 28) | (int(instr.algorithm) << 20) | (instr.key_id << 10)
+    if isinstance(instr, CloseInstr):
+        return (Opcode.CLOSE << 28) | (instr.channel_id << 20)
+    if isinstance(instr, EncryptInstr):
+        return (
+            (Opcode.ENCRYPT << 28)
+            | (instr.channel_id << 20)
+            | (instr.header_blocks << 10)
+            | instr.data_blocks
+        )
+    if isinstance(instr, DecryptInstr):
+        return (
+            (Opcode.DECRYPT << 28)
+            | (instr.channel_id << 20)
+            | (instr.header_blocks << 10)
+            | instr.data_blocks
+        )
+    if isinstance(instr, RetrieveDataInstr):
+        return Opcode.RETRIEVE_DATA << 28
+    if isinstance(instr, TransferDoneInstr):
+        return (Opcode.TRANSFER_DONE << 28) | (instr.request_id << 20)
+    raise ProtocolError(f"cannot encode {instr!r}")
+
+
+def decode_instruction(word: int) -> Instruction:
+    """Unpack a 32-bit instruction register value."""
+    if not 0 <= word < (1 << 32):
+        raise ProtocolError(f"instruction word {word:#x} exceeds 32 bits")
+    opcode = (word >> 28) & 0xF
+    a = (word >> 20) & 0xFF
+    b = (word >> 10) & 0x3FF
+    c = word & 0x3FF
+    if opcode == Opcode.OPEN:
+        try:
+            algorithm = Algorithm(a)
+        except ValueError as exc:
+            raise ProtocolError(f"unknown algorithm id {a:#x}") from exc
+        return OpenInstr(algorithm, b)
+    if opcode == Opcode.CLOSE:
+        return CloseInstr(a)
+    if opcode == Opcode.ENCRYPT:
+        return EncryptInstr(a, b, c)
+    if opcode == Opcode.DECRYPT:
+        return DecryptInstr(a, b, c)
+    if opcode == Opcode.RETRIEVE_DATA:
+        return RetrieveDataInstr()
+    if opcode == Opcode.TRANSFER_DONE:
+        return TransferDoneInstr(a)
+    raise ProtocolError(f"unknown opcode {opcode:#x}")

@@ -1,0 +1,79 @@
+"""The Key Scheduler (paper sections III.A and VI.B).
+
+"Before launching the key scheduling, the Task Scheduler loads the
+session key ID into the Key Scheduler which gets the right session key
+from the Key Memory" and expands it into the target core's key cache.
+
+Expansion is charged realistic cycles: the FIPS-197 schedule produces
+``4 * (rounds + 1)`` 32-bit words through a 32-bit datapath
+(:attr:`TimingModel.key_schedule_word_cycles` cycles each).  Round keys
+land in the core's cache *before* the core starts, off the per-packet
+critical path — exactly why the paper pre-computes them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.core.key_cache import KeyCache
+from repro.crypto.aes import ROUNDS_BY_KEY_BYTES, expand_key
+from repro.mccp.key_memory import KeyMemory
+from repro.sim.kernel import Delay, Event, Simulator
+from repro.unit.timing import TimingModel
+
+
+class KeyScheduler:
+    """Expands session keys into core key caches."""
+
+    def __init__(self, sim: Simulator, key_memory: KeyMemory, timing: TimingModel):
+        self.sim = sim
+        self.key_memory = key_memory
+        self.timing = timing
+        #: (key_id -> expanded schedule) memo so re-keying an already
+        #: scheduled channel is free, as a small hardware cache would be.
+        self._memo: Dict[int, Tuple[list, int]] = {}
+        #: Total expansions performed (cache-miss counter).
+        self.expansions = 0
+
+    def schedule_cycles(self, key_bits: int) -> int:
+        """Cycles to expand a key of *key_bits* bits."""
+        rounds = ROUNDS_BY_KEY_BYTES[key_bits // 8]
+        words = 4 * (rounds + 1)
+        return words * self.timing.key_schedule_word_cycles
+
+    def load(self, key_id: int, cache: KeyCache) -> Event:
+        """Expand key *key_id* into *cache*; returns a completion event."""
+        done = self.sim.event(f"keysched.{key_id}")
+
+        if key_id in self._memo:
+            round_keys, key_bits = self._memo[key_id]
+            # Cached schedule: only the cache-write transfer is charged.
+            delay = 4 * (len(round_keys)) * self.timing.key_schedule_word_cycles // 4
+        else:
+            key = self.key_memory.fetch_for_scheduler(key_id)
+            round_keys = expand_key(key)
+            key_bits = 8 * len(key)
+            self._memo[key_id] = (round_keys, key_bits)
+            self.expansions += 1
+            delay = self.schedule_cycles(key_bits)
+
+        def finish():
+            yield Delay(delay)
+            cache.install(round_keys, key_bits, key_id)
+            done.trigger(key_bits)
+
+        self.sim.add_process(finish(), name=f"keysched.load.{key_id}")
+        return done
+
+    def load_sync(self, key_id: int, cache: KeyCache) -> int:
+        """Immediate (zero-time) variant for tests and warm starts."""
+        if key_id in self._memo:
+            round_keys, key_bits = self._memo[key_id]
+        else:
+            key = self.key_memory.fetch_for_scheduler(key_id)
+            round_keys = expand_key(key)
+            key_bits = 8 * len(key)
+            self._memo[key_id] = (round_keys, key_bits)
+            self.expansions += 1
+        cache.install(round_keys, key_bits, key_id)
+        return key_bits

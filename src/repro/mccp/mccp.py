@@ -1,0 +1,177 @@
+"""The MCCP device facade (paper Fig. 1).
+
+Builds the whole device — N cores with neighbour-wired inter-core
+registers and pairwise-shared instruction memories, key memory/
+scheduler, crossbar, task scheduler — and exposes both interfaces:
+
+- the **register-level protocol** of section III.B
+  (:meth:`execute_instruction`: 32-bit instruction register in, 8-bit
+  return register out, charged scheduler overhead), and
+- **convenience methods** (:meth:`open_channel`, :meth:`submit`, …)
+  used by the communication controller and the benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.crypto_core import CryptoCore
+from repro.core.params import Algorithm
+from repro.errors import ChannelError, NoResourceError, ProtocolError
+from repro.mccp.crossbar import Crossbar
+from repro.mccp.instructions import (
+    CloseInstr,
+    DecryptInstr,
+    EncryptInstr,
+    Instruction,
+    OpenInstr,
+    RetrieveDataInstr,
+    ReturnCode,
+    TransferDoneInstr,
+)
+from repro.mccp.key_memory import KeyMemory
+from repro.mccp.key_scheduler import KeyScheduler
+from repro.mccp.task_scheduler import PendingRequest, TaskScheduler
+from repro.radio.formatting import FormattedTask
+from repro.sim.kernel import Simulator
+from repro.sim.tracing import TraceRecorder
+from repro.unit.timing import DEFAULT_TIMING, TimingModel
+
+#: The paper's implemented configuration.
+DEFAULT_CORE_COUNT = 4
+
+
+class Mccp:
+    """A complete Multi-Core Crypto-Processor instance."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        core_count: int = DEFAULT_CORE_COUNT,
+        timing: TimingModel = DEFAULT_TIMING,
+        policy=None,
+        trace: Optional[TraceRecorder] = None,
+        key_memory: Optional[KeyMemory] = None,
+    ):
+        if core_count < 1:
+            raise ProtocolError("MCCP needs at least one core")
+        self.sim = sim
+        self.timing = timing
+        self.trace = trace if trace is not None else TraceRecorder(enabled=False)
+
+        self.cores: List[CryptoCore] = [
+            CryptoCore(sim, timing, index=i, trace=self.trace)
+            for i in range(core_count)
+        ]
+        # Inter-core ports: each core sends to its right neighbour (ring),
+        # matching the paper's neighbour pairing of shared memories.
+        for i, core in enumerate(self.cores):
+            right = self.cores[(i + 1) % core_count]
+            core.unit.ic_out = right.unit.ic_in
+
+        self.key_memory = key_memory if key_memory is not None else KeyMemory()
+        self.key_scheduler = KeyScheduler(sim, self.key_memory, timing)
+        self.crossbar = Crossbar(sim, timing)
+        self.scheduler = TaskScheduler(
+            sim,
+            self.cores,
+            self.key_scheduler,
+            self.crossbar,
+            timing,
+            policy=policy,
+            trace=self.trace,
+        )
+
+        #: Mirrors the hardware registers of section III.B.
+        self.instruction_register = 0
+        self.return_register = 0
+
+    # -- register-level protocol ------------------------------------------------
+
+    def execute_instruction(self, instr: Instruction) -> Tuple[ReturnCode, int]:
+        """Run one control instruction; returns (code, aux value).
+
+        This is the four-step protocol collapsed to a call: write the
+        instruction register, pulse start, busy-wait done, read the
+        return register.  The aux value is the channel id (OPEN) or
+        request id (ENCRYPT/DECRYPT/RETRIEVE DATA).
+
+        Note: the register-level path cannot carry the full formatted
+        task (the hardware receives data through the FIFOs separately);
+        ENCRYPT/DECRYPT here only *reserves* resources.  The
+        communication controller model uses :meth:`submit` which takes
+        the formatted task directly.
+        """
+        from repro.mccp.instructions import encode_instruction
+
+        self.instruction_register = encode_instruction(instr)
+        try:
+            if isinstance(instr, OpenInstr):
+                channel = self.scheduler.open_channel(instr.algorithm, instr.key_id)
+                code, aux = ReturnCode.OK, channel.channel_id
+            elif isinstance(instr, CloseInstr):
+                self.scheduler.close_channel(instr.channel_id)
+                code, aux = ReturnCode.OK, 0
+            elif isinstance(instr, (EncryptInstr, DecryptInstr)):
+                # Resource check only (see docstring).
+                needed = 1
+                if not self.scheduler.idle_core_indices():
+                    code, aux = ReturnCode.NO_RESOURCE, 0
+                else:
+                    code, aux = ReturnCode.OK, needed
+            elif isinstance(instr, RetrieveDataInstr):
+                request = self.scheduler.next_available_request()
+                if request is None:
+                    code, aux = ReturnCode.NOT_READY, 0
+                else:
+                    ok, rid = self.scheduler.retrieve(request)
+                    code = ReturnCode.OK if ok else ReturnCode.AUTH_FAIL
+                    aux = rid
+            elif isinstance(instr, TransferDoneInstr):
+                request = self.scheduler.requests.get(instr.request_id)
+                if request is None:
+                    code, aux = ReturnCode.ERROR, 0
+                else:
+                    self.scheduler.transfer_done(request)
+                    code, aux = ReturnCode.OK, instr.request_id
+            else:
+                code, aux = ReturnCode.ERROR, 0
+        except NoResourceError:
+            code, aux = ReturnCode.NO_RESOURCE, 0
+        except ChannelError:
+            code, aux = ReturnCode.UNKNOWN_CHANNEL, 0
+
+        self.return_register = ((aux & 0xF) << 4) | int(code)
+        return code, aux
+
+    # -- convenience API (communication-controller path) --------------------------
+
+    def load_session_key(self, key_id: int, key: bytes) -> None:
+        """Main-controller action: install a session key."""
+        self.key_memory.load_key(key_id, key)
+
+    def open_channel(
+        self, algorithm: Algorithm, key_id: int, tag_length: int = 16
+    ):
+        """OPEN convenience wrapper; returns the Channel."""
+        return self.scheduler.open_channel(algorithm, key_id, tag_length)
+
+    def close_channel(self, channel_id: int) -> None:
+        """CLOSE convenience wrapper."""
+        self.scheduler.close_channel(channel_id)
+
+    def submit(
+        self, channel_id: int, tasks: Sequence[FormattedTask], priority: int = 1
+    ) -> PendingRequest:
+        """ENCRYPT/DECRYPT + data upload entry point (see CommController)."""
+        return self.scheduler.submit(channel_id, tasks, priority)
+
+    @property
+    def idle_cores(self) -> int:
+        """Number of currently idle cores."""
+        return len(self.scheduler.idle_core_indices())
+
+    def utilisation(self) -> float:
+        """Fraction of cores currently busy."""
+        busy = sum(1 for c in self.cores if c.busy)
+        return busy / len(self.cores)

@@ -1,0 +1,294 @@
+"""The Task Scheduler (paper sections III.A–III.C).
+
+Dispatches cryptographic tasks to cores: allocates channels (OPEN),
+selects cores for ENCRYPT/DECRYPT via a pluggable mapping policy
+(first-idle by default, as in the paper's current release), launches
+the Key Scheduler, loads firmware, raises the ``Data Available``
+interrupt when a core finishes, and arbitrates the crossbar for
+RETRIEVE DATA.
+
+Each control instruction is charged
+:attr:`TimingModel.scheduler_overhead_cycles` of 8-bit-controller
+software time, which is where the small fixed gap between theoretical
+and packet throughput partly comes from.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.crypto_core import CoreResult, CryptoCore
+from repro.core.params import Algorithm, CcmRole
+from repro.errors import ChannelError, NoResourceError, ProtocolError
+from repro.mccp.channel import Channel
+from repro.mccp.crossbar import Crossbar
+from repro.mccp.key_scheduler import KeyScheduler
+from repro.radio.formatting import FormattedTask
+from repro.sim.kernel import Delay, Event, Simulator
+from repro.sim.signals import Signal
+from repro.sim.tracing import TraceRecorder
+from repro.unit.timing import TimingModel
+
+MAX_CHANNELS = 16
+
+
+class RequestState(enum.Enum):
+    """Lifecycle of one ENCRYPT/DECRYPT request."""
+
+    RUNNING = "running"
+    DATA_AVAILABLE = "data_available"
+    RETRIEVED = "retrieved"
+    DONE = "done"
+
+
+@dataclass
+class PendingRequest:
+    """Book-keeping for one in-flight packet task."""
+
+    request_id: int
+    channel_id: int
+    core_indices: Tuple[int, ...]
+    tasks: Tuple[FormattedTask, ...]
+    submit_cycle: int
+    state: RequestState = RequestState.RUNNING
+    results: List[CoreResult] = field(default_factory=list)
+    complete_cycle: Optional[int] = None
+    done_event: Optional[Event] = None
+    #: Triggers when all cores finished (the Data Available edge).
+    ready_event: Optional[Event] = None
+
+    @property
+    def auth_failed(self) -> bool:
+        """True if any participating core reported AUTH_FAIL."""
+        return any(r.auth_failed for r in self.results)
+
+    @property
+    def output_core_index(self) -> int:
+        """The core whose output FIFO holds the request's results.
+
+        For two-core CCM that is the CTR-role core (the second index).
+        """
+        return self.core_indices[-1]
+
+
+class TaskScheduler:
+    """Core allocation and request tracking."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cores: Sequence[CryptoCore],
+        key_scheduler: KeyScheduler,
+        crossbar: Crossbar,
+        timing: TimingModel,
+        policy=None,
+        trace: Optional[TraceRecorder] = None,
+    ):
+        from repro.sched.first_idle import FirstIdlePolicy
+
+        self.sim = sim
+        self.cores = list(cores)
+        self.key_scheduler = key_scheduler
+        self.crossbar = crossbar
+        self.timing = timing
+        self.policy = policy if policy is not None else FirstIdlePolicy()
+        self.trace = trace if trace is not None else TraceRecorder(enabled=False)
+
+        self.channels: Dict[int, Channel] = {}
+        self.requests: Dict[int, PendingRequest] = {}
+        self._next_channel = 0
+        self._next_request = 0
+        #: Level signal: number of requests in DATA_AVAILABLE state.  The
+        #: rising edge is the paper's Data Available interrupt.
+        self.data_available = Signal(sim, "mccp.data_available", initial=0)
+        #: Aggregate statistics.
+        self.requests_submitted = 0
+        self.requests_rejected = 0
+
+    # -- channels ----------------------------------------------------------
+
+    def open_channel(
+        self, algorithm: Algorithm, key_id: int, tag_length: int = 16
+    ) -> Channel:
+        """OPEN: allocate a channel bound to (algorithm, key id)."""
+        if len(self.channels) >= MAX_CHANNELS:
+            raise NoResourceError("no free channel slots")
+        key_bits = self.key_scheduler.key_memory.key_bits(key_id)
+        channel = Channel(
+            channel_id=self._next_channel,
+            algorithm=algorithm,
+            key_id=key_id,
+            key_bits=key_bits,
+            tag_length=tag_length,
+        )
+        self.channels[channel.channel_id] = channel
+        self._next_channel += 1
+        self.trace.record(
+            self.sim.now, "sched", "open", channel=channel.channel_id,
+            algorithm=algorithm.name,
+        )
+        return channel
+
+    def close_channel(self, channel_id: int) -> None:
+        """CLOSE: tear the channel down (pending requests must be done)."""
+        channel = self._channel(channel_id)
+        busy = [
+            r for r in self.requests.values()
+            if r.channel_id == channel_id and r.state is not RequestState.DONE
+        ]
+        if busy:
+            raise ChannelError(
+                f"channel {channel_id} has {len(busy)} unfinished requests"
+            )
+        channel.close()
+        del self.channels[channel_id]
+
+    def _channel(self, channel_id: int) -> Channel:
+        try:
+            return self.channels[channel_id]
+        except KeyError as exc:
+            raise ChannelError(f"unknown channel {channel_id}") from exc
+
+    # -- core selection -----------------------------------------------------
+
+    def idle_core_indices(self) -> List[int]:
+        """Cores currently free (ordered by index)."""
+        return [c.index for c in self.cores if not c.busy]
+
+    # -- request submission ----------------------------------------------------
+
+    def submit(
+        self,
+        channel_id: int,
+        tasks: Sequence[FormattedTask],
+        priority: int = 1,
+    ) -> PendingRequest:
+        """Assign a formatted packet task to core(s), first-idle order.
+
+        *tasks* holds one task (single-core modes) or the (MAC, CTR)
+        pair of a two-core CCM split.  Raises
+        :class:`NoResourceError` when not enough idle cores exist —
+        the error-flag path of the paper's ENCRYPT instruction.
+        """
+        channel = self._channel(channel_id)
+        if not channel.is_open:
+            raise ChannelError(f"channel {channel_id} is closed")
+        needed = len(tasks)
+        chosen = self.policy.select_cores(self, needed, priority)
+        if chosen is None or len(chosen) < needed:
+            self.requests_rejected += 1
+            raise NoResourceError(
+                f"{needed} idle core(s) required, "
+                f"{len(self.idle_core_indices())} available"
+            )
+
+        request = PendingRequest(
+            request_id=self._next_request,
+            channel_id=channel_id,
+            core_indices=tuple(chosen),
+            tasks=tuple(tasks),
+            submit_cycle=self.sim.now,
+        )
+        self._next_request += 1
+        self.requests[request.request_id] = request
+        self.requests_submitted += 1
+        request.done_event = self.sim.event(f"req{request.request_id}.done")
+        request.ready_event = self.sim.event(f"req{request.request_id}.ready")
+
+        if len(chosen) == 2:
+            # Cross-wire the inter-core shift registers for this pair:
+            # the MAC core forwards the MAC to the CTR core, and (on
+            # decryption) the CTR core forwards plaintext back.
+            mac_core, ctr_core = self.cores[chosen[0]], self.cores[chosen[1]]
+            mac_core.unit.ic_out = ctr_core.unit.ic_in
+            ctr_core.unit.ic_out = mac_core.unit.ic_in
+
+        for core_index, task in zip(chosen, tasks):
+            core = self.cores[core_index]
+            # Round keys must be in the core's cache before start.
+            if task.params.algorithm is not Algorithm.WHIRLPOOL:
+                if (
+                    not core.key_cache.loaded
+                    or core.key_cache.key_id != channel.key_id
+                ):
+                    self.key_scheduler.load_sync(channel.key_id, core.key_cache)
+            done = core.assign_task(task.params)
+            done.add_waiter(
+                lambda result, req=request, idx=core_index: self._core_finished(
+                    req, idx, result
+                )
+            )
+        self.trace.record(
+            self.sim.now,
+            "sched",
+            "submit",
+            request=request.request_id,
+            cores=list(chosen),
+            algorithm=channel.algorithm.name,
+        )
+        return request
+
+    def _core_finished(self, request: PendingRequest, core_index: int, result) -> None:
+        request.results.append(result)
+        if len(request.results) == len(request.core_indices):
+            request.state = RequestState.DATA_AVAILABLE
+            request.complete_cycle = self.sim.now
+            channel = self.channels.get(request.channel_id)
+            if channel is not None:
+                channel.packets_processed += 1
+                if request.auth_failed:
+                    channel.auth_failures += 1
+            self.data_available.set(self.data_available.value + 1)
+            if request.ready_event is not None:
+                request.ready_event.trigger(request)
+            self.trace.record(
+                self.sim.now, "sched", "data_available", request=request.request_id
+            )
+
+    # -- retrieval ---------------------------------------------------------------
+
+    def next_available_request(self) -> Optional[PendingRequest]:
+        """Oldest request waiting for RETRIEVE DATA."""
+        waiting = [
+            r for r in self.requests.values()
+            if r.state is RequestState.DATA_AVAILABLE
+        ]
+        return min(waiting, key=lambda r: r.request_id) if waiting else None
+
+    def retrieve(self, request: PendingRequest) -> Tuple[bool, int]:
+        """RETRIEVE DATA: returns (ok, request_id) and grants the crossbar.
+
+        On AUTH_FAIL the output FIFO was already purged by the core; no
+        crossbar grant happens (there is nothing to read).
+        """
+        if request.state is not RequestState.DATA_AVAILABLE:
+            raise ProtocolError(
+                f"request {request.request_id} not in DATA_AVAILABLE state"
+            )
+        self.data_available.set(self.data_available.value - 1)
+        if request.auth_failed:
+            request.state = RequestState.DONE
+            self._finish(request)
+            return False, request.request_id
+        request.state = RequestState.RETRIEVED
+        self.crossbar.grant(request.output_core_index)
+        return True, request.request_id
+
+    def transfer_done(self, request: PendingRequest) -> None:
+        """TRANSFER DONE: release the crossbar, finish the request."""
+        if request.state is RequestState.RETRIEVED:
+            self.crossbar.release()
+        request.state = RequestState.DONE
+        self._finish(request)
+
+    def _finish(self, request: PendingRequest) -> None:
+        if request.done_event is not None and not request.done_event.triggered:
+            request.done_event.trigger(request)
+
+    # -- timing helper -------------------------------------------------------------
+
+    def overhead_delay(self) -> Delay:
+        """The scheduler-software cost of one control instruction."""
+        return Delay(self.timing.scheduler_overhead_cycles)

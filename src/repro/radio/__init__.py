@@ -1,0 +1,42 @@
+"""The SDR substrate: packets, standards, traffic and the communication
+controller that drives the MCCP (paper sections I–III).
+
+The MCCP sits behind a communication controller inside a larger radio
+platform; the controller owns all byte-level formatting (section VI.B)
+and the control-port protocol (section III.B).  This subpackage models
+that surrounding system so the device can be exercised with realistic
+multi-channel, multi-standard workloads.
+"""
+
+from repro.radio.formatting import (
+    FormattedTask,
+    format_cbc_mac,
+    format_ccm_single,
+    format_ccm_two_core,
+    format_ctr,
+    format_gcm,
+    format_task,
+    format_whirlpool,
+    parse_output,
+)
+from repro.radio.packet import Packet, SecuredPacket
+from repro.radio.standards import RadioStandard, STANDARD_PROFILES
+from repro.radio.traffic import TrafficGenerator, TrafficPattern
+
+__all__ = [
+    "FormattedTask",
+    "format_cbc_mac",
+    "format_ccm_single",
+    "format_ccm_two_core",
+    "format_ctr",
+    "format_gcm",
+    "format_task",
+    "format_whirlpool",
+    "parse_output",
+    "Packet",
+    "SecuredPacket",
+    "RadioStandard",
+    "STANDARD_PROFILES",
+    "TrafficGenerator",
+    "TrafficPattern",
+]

@@ -1,0 +1,215 @@
+"""The communication controller (paper sections III.A, VI.B).
+
+Sits between the radio's waveforms and the MCCP: formats every packet
+(the cores never format data), issues the control-protocol calls,
+uploads/downloads FIFO data through the crossbar, reacts to the
+``Data Available`` interrupt, and reassembles secured packets.
+
+Implemented as simulation processes so upload, core processing and
+download genuinely overlap, which is what the multi-core throughput
+numbers depend on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.params import Algorithm, Direction
+from repro.errors import NoResourceError, ProtocolError
+from repro.mccp.mccp import Mccp
+from repro.mccp.task_scheduler import PendingRequest
+from repro.radio.formatting import (
+    FormattedTask,
+    format_task,
+    parse_output,
+)
+from repro.radio.packet import Packet, SecuredPacket
+from repro.sim.kernel import Delay, Event, Simulator
+from repro.utils.bits import words32_to_bytes
+
+
+@dataclass
+class CompletedTransfer:
+    """One finished request with parsed outputs."""
+
+    request: PendingRequest
+    payload: bytes = b""
+    tag: Optional[bytes] = None
+    ok: bool = True
+    download_done_cycle: int = 0
+    extra: dict = field(default_factory=dict)
+
+
+class CommController:
+    """Drives the MCCP on behalf of the radio."""
+
+    def __init__(self, sim: Simulator, mccp: Mccp, seed: int = 0):
+        self.sim = sim
+        self.mccp = mccp
+        self._nonce_counter = seed << 32
+        #: Finished transfers by request id.
+        self.completed: Dict[int, CompletedTransfer] = {}
+        #: Per-request latency records (submit -> download done).
+        self.latencies: List[int] = []
+        self.auth_failures = 0
+
+    # -- nonce management -------------------------------------------------------
+
+    def next_nonce(self, algorithm: Algorithm) -> bytes:
+        """Fresh, never-repeating nonce of the mode's radio length."""
+        self._nonce_counter += 1
+        if algorithm is Algorithm.GCM:
+            return self._nonce_counter.to_bytes(12, "big")
+        if algorithm is Algorithm.CCM:
+            return self._nonce_counter.to_bytes(13, "big")
+        if algorithm is Algorithm.CTR:
+            return (self._nonce_counter << 16).to_bytes(16, "big")
+        raise ProtocolError(f"{algorithm!r} takes no nonce")
+
+    # -- formatting ---------------------------------------------------------------
+
+    def format_packet(
+        self,
+        channel,
+        packet: Packet,
+        direction: Direction,
+        nonce: Optional[bytes] = None,
+        tag: Optional[bytes] = None,
+        two_core: bool = False,
+    ) -> Tuple[Tuple[FormattedTask, ...], bytes]:
+        """Format *packet* for the channel's algorithm; returns (tasks, nonce)."""
+        nonce = nonce if nonce is not None else self.next_nonce(channel.algorithm)
+        result = format_task(
+            channel.algorithm,
+            channel.key_bits,
+            direction,
+            nonce=nonce,
+            aad=packet.header,
+            data=packet.payload,
+            tag_length=channel.tag_length,
+            tag=tag,
+            two_core=two_core,
+        )
+        tasks = result if isinstance(result, tuple) else (result,)
+        return tasks, nonce
+
+    # -- end-to-end packet processing ----------------------------------------------
+
+    def process_packet(
+        self,
+        channel,
+        packet: Packet,
+        direction: Direction = Direction.ENCRYPT,
+        nonce: Optional[bytes] = None,
+        tag: Optional[bytes] = None,
+        two_core: bool = False,
+        completion: Optional[Event] = None,
+    ):
+        """Generator process: format, submit, upload, await, download.
+
+        Triggers *completion* (if given) with a
+        :class:`CompletedTransfer`; also records it in
+        :attr:`completed`.  Raises :class:`NoResourceError` out of the
+        submit step if no core is idle — callers that want queueing
+        catch it and retry (see :class:`repro.radio.sdr_platform`).
+        """
+        tasks, nonce = self.format_packet(
+            channel, packet, direction, nonce, tag, two_core
+        )
+        # ENCRYPT/DECRYPT control instruction (scheduler software cost).
+        yield self.mccp.scheduler.overhead_delay()
+        request = self.mccp.submit(channel.channel_id, tasks, packet.priority)
+
+        # Upload every task's input stream (one word per crossbar-port
+        # cycle).  Encrypt output is drained *while* the core runs: a
+        # 2 KB packet plus its tag is 129 blocks, one more than the
+        # output FIFO holds, so the hardware communication controller
+        # must also read as data becomes available.  Decrypt output is
+        # only read after RETRIEVE DATA returns OK (section IV.C).
+        out_task = tasks[-1]
+        nwords = self._expected_output_words(out_task)
+        sink: List[int] = []
+        is_decrypt = direction is Direction.DECRYPT
+        download = None
+        if not is_decrypt and nwords:
+            download = self.mccp.crossbar.download_words(
+                self.mccp.cores[request.output_core_index], sink, nwords
+            )
+        for core_index, task in zip(request.core_indices, tasks):
+            core = self.mccp.cores[core_index]
+            upload = self.mccp.crossbar.upload_blocks(core, task.input_blocks)
+            yield upload.done
+
+        # Wait for the core(s) — the Data Available interrupt edge.
+        yield request.ready_event
+
+        # RETRIEVE DATA.
+        yield self.mccp.scheduler.overhead_delay()
+        ok, _rid = self.mccp.scheduler.retrieve(request)
+        transfer = CompletedTransfer(request=request, ok=ok)
+        if ok:
+            if is_decrypt and nwords:
+                download = self.mccp.crossbar.download_words(
+                    self.mccp.cores[request.output_core_index], sink, nwords
+                )
+            if download is not None:
+                yield download.done
+            blocks = [
+                words32_to_bytes(sink[i : i + 4]) for i in range(0, len(sink), 4)
+            ]
+            transfer.payload, transfer.tag = parse_output(out_task, blocks)
+        else:
+            self.auth_failures += 1
+        yield self.mccp.scheduler.overhead_delay()
+        self.mccp.scheduler.transfer_done(request)
+        transfer.download_done_cycle = self.sim.now
+        self.completed[request.request_id] = transfer
+        self.latencies.append(self.sim.now - packet.created_cycle)
+        if completion is not None:
+            completion.trigger(transfer)
+        return transfer
+
+    @staticmethod
+    def _expected_output_words(task: FormattedTask) -> int:
+        params = task.params
+        if params.algorithm is Algorithm.WHIRLPOOL:
+            return 16  # 64-byte digest
+        blocks = 0
+        if params.algorithm is Algorithm.CBC_MAC:
+            blocks = 1 if params.direction is Direction.ENCRYPT else 0
+        else:
+            blocks = params.data_blocks
+            if params.direction is Direction.ENCRYPT and params.tag_length:
+                blocks += 1
+        return 4 * blocks
+
+    # -- convenience wrappers ------------------------------------------------------
+
+    def secure_packet_sync(
+        self, channel, packet: Packet, two_core: bool = False,
+        limit: int = 200_000_000,
+    ) -> SecuredPacket:
+        """Blocking helper: run the whole encrypt path for one packet."""
+        done = self.sim.event("secure_packet")
+        tasks_nonce = {}
+
+        def proc():
+            transfer = yield from self.process_packet(
+                channel, packet, Direction.ENCRYPT, two_core=two_core,
+                completion=None,
+            )
+            done.trigger(transfer)
+
+        self.sim.add_process(proc(), name="secure_packet")
+        transfer: CompletedTransfer = self.sim.run_until_event(done, limit=limit)
+        del tasks_nonce
+        return SecuredPacket(
+            channel_id=packet.channel_id,
+            header=packet.header,
+            ciphertext=transfer.payload,
+            tag=transfer.tag,
+            nonce=b"",
+            sequence=packet.sequence,
+            completed_cycle=self.sim.now,
+        )

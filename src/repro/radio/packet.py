@@ -1,0 +1,63 @@
+"""Packet abstractions crossing the red/black boundary.
+
+A :class:`Packet` is what the radio's waveform hands to the crypto
+subsystem: a header that is authenticated but not encrypted (the
+ENCRYPT instruction's "Header Size") and a payload that is both.  A
+:class:`SecuredPacket` is the black-side result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import ProtocolError
+
+#: Maximum packet payload a core FIFO can hold (paper: 2048 bytes).
+MAX_PAYLOAD_BYTES = 2048
+
+
+@dataclass(frozen=True)
+class Packet:
+    """A red-side (plaintext) packet."""
+
+    channel_id: int
+    header: bytes = b""
+    payload: bytes = b""
+    sequence: int = 0
+    #: Creation time in cycles (for latency accounting).
+    created_cycle: int = 0
+    #: QoS class: lower = more latency-sensitive (voice=0, bulk=2).
+    priority: int = 1
+
+    def __post_init__(self) -> None:
+        if len(self.payload) > MAX_PAYLOAD_BYTES:
+            raise ProtocolError(
+                f"payload of {len(self.payload)} bytes exceeds the "
+                f"{MAX_PAYLOAD_BYTES}-byte core FIFO"
+            )
+
+    @property
+    def total_bytes(self) -> int:
+        """Header plus payload size."""
+        return len(self.header) + len(self.payload)
+
+
+@dataclass(frozen=True)
+class SecuredPacket:
+    """A black-side (protected) packet."""
+
+    channel_id: int
+    header: bytes
+    ciphertext: bytes
+    tag: Optional[bytes]
+    nonce: bytes
+    sequence: int = 0
+    #: Completion time in cycles.
+    completed_cycle: int = 0
+    extra: dict = field(default_factory=dict, compare=False)
+
+    @property
+    def total_bytes(self) -> int:
+        """Bytes on air (header + ciphertext + tag)."""
+        return len(self.header) + len(self.ciphertext) + len(self.tag or b"")

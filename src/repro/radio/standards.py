@@ -1,0 +1,96 @@
+"""Multi-standard channel profiles (paper section I).
+
+The paper motivates the MCCP with multi-standard SDRs (UMTS, WiFi,
+WiMax).  These profiles capture what matters to the crypto subsystem:
+packet sizes, mode of operation, key size, tag length and nominal
+offered rate.  Values are representative of the protocols' secured
+MPDUs, not bit-exact MAC formats — the MCCP never parses them anyway
+(the communication controller strips/reassembles).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.params import Algorithm
+
+
+class RadioStandard(enum.Enum):
+    """Named waveform families used by the examples and benchmarks."""
+
+    WIFI = "wifi"          # IEEE 802.11i style: AES-CCM
+    WIMAX = "wimax"        # IEEE 802.16e style: AES-CCM, larger MPDUs
+    UMTS_LIKE = "umts"     # 3G-style stream confidentiality: AES-CTR
+    SATCOM = "satcom"      # high-rate link: AES-GCM
+    TACTICAL_VOICE = "voice"  # small, latency-critical frames: AES-GCM
+
+
+@dataclass(frozen=True)
+class StandardProfile:
+    """Crypto-relevant parameters of one standard."""
+
+    standard: RadioStandard
+    algorithm: Algorithm
+    key_bits: int
+    tag_length: int
+    header_bytes: int
+    payload_bytes: int
+    #: Nominal offered rate in Mbps used by the traffic generators.
+    nominal_rate_mbps: float
+    #: Latency budget in microseconds (QoS experiments).
+    latency_budget_us: float
+
+
+STANDARD_PROFILES = {
+    RadioStandard.WIFI: StandardProfile(
+        RadioStandard.WIFI,
+        Algorithm.CCM,
+        key_bits=128,
+        tag_length=8,
+        header_bytes=24,
+        payload_bytes=1536,
+        nominal_rate_mbps=54.0,
+        latency_budget_us=2000.0,
+    ),
+    RadioStandard.WIMAX: StandardProfile(
+        RadioStandard.WIMAX,
+        Algorithm.CCM,
+        key_bits=128,
+        tag_length=8,
+        header_bytes=16,
+        payload_bytes=2000,
+        nominal_rate_mbps=70.0,
+        latency_budget_us=5000.0,
+    ),
+    RadioStandard.UMTS_LIKE: StandardProfile(
+        RadioStandard.UMTS_LIKE,
+        Algorithm.CTR,
+        key_bits=128,
+        tag_length=0,
+        header_bytes=8,
+        payload_bytes=640,
+        nominal_rate_mbps=14.0,
+        latency_budget_us=10000.0,
+    ),
+    RadioStandard.SATCOM: StandardProfile(
+        RadioStandard.SATCOM,
+        Algorithm.GCM,
+        key_bits=256,
+        tag_length=16,
+        header_bytes=16,
+        payload_bytes=2048,
+        nominal_rate_mbps=150.0,
+        latency_budget_us=20000.0,
+    ),
+    RadioStandard.TACTICAL_VOICE: StandardProfile(
+        RadioStandard.TACTICAL_VOICE,
+        Algorithm.GCM,
+        key_bits=128,
+        tag_length=8,
+        header_bytes=8,
+        payload_bytes=160,
+        nominal_rate_mbps=0.064,
+        latency_budget_us=400.0,
+    ),
+}

@@ -1,0 +1,22 @@
+"""Partial-reconfiguration model (paper section VII.B, Table IV).
+
+The Cryptographic Unit sits in a reconfigurable region (1280 slices /
+16 BRAM on the paper's Virtex-4).  Bitstreams live in a store —
+CompactFlash or RAM, with bandwidths derived from Table IV — and the
+manager swaps a core's CU personality, charging realistic
+reconfiguration time and enforcing region capacity.
+"""
+
+from repro.reconfig.bitstream import Bitstream, BitstreamStore, StoreKind, MODULE_LIBRARY
+from repro.reconfig.region import ReconfigurableRegion
+from repro.reconfig.manager import ReconfigManager, ReconfigRecord
+
+__all__ = [
+    "Bitstream",
+    "BitstreamStore",
+    "StoreKind",
+    "MODULE_LIBRARY",
+    "ReconfigurableRegion",
+    "ReconfigManager",
+    "ReconfigRecord",
+]

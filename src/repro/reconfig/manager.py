@@ -1,0 +1,111 @@
+"""The reconfiguration manager: swaps CU personalities at run time.
+
+Drives the whole Table-IV flow: fetch the bitstream from a store
+(CompactFlash or RAM bandwidths), stall the target core for the load
+time, then flip the core's active CU personality.  A small bitstream
+cache models the paper's recommendation that "caching of bitstream is
+needed to obtain the best performances": cached loads run at RAM speed
+even when the backing store is CompactFlash.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from repro.core.crypto_core import CryptoCore
+from repro.errors import ReconfigError
+from repro.reconfig.bitstream import BitstreamStore, StoreKind
+from repro.reconfig.region import ReconfigurableRegion
+from repro.sim.kernel import Delay, Event, Simulator
+
+
+@dataclass(frozen=True)
+class ReconfigRecord:
+    """One completed reconfiguration (for the Table IV benchmark)."""
+
+    core_index: int
+    module: str
+    store: StoreKind
+    cached: bool
+    cycles: int
+    seconds: float
+
+
+class ReconfigManager:
+    """Run-time partial reconfiguration of core CU regions."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cores: List[CryptoCore],
+        store: BitstreamStore,
+        cache_capacity: int = 2,
+        clock_hz: float = 190e6,
+    ):
+        self.sim = sim
+        self.cores = cores
+        self.store = store
+        self.clock_hz = clock_hz
+        self.regions = [ReconfigurableRegion(core.index) for core in cores]
+        self._cache: Set[str] = set()
+        self._cache_capacity = cache_capacity
+        #: RAM-speed store used for cached bitstreams.
+        self._ram_store = BitstreamStore(StoreKind.RAM, clock_hz)
+        self.history: List[ReconfigRecord] = []
+
+    def load_cycles(self, module: str, cached: Optional[bool] = None) -> int:
+        """Cycle cost of loading *module* (cache-aware)."""
+        use_cache = self._is_cached(module) if cached is None else cached
+        store = self._ram_store if use_cache else self.store
+        return store.load_cycles(module)
+
+    def _is_cached(self, module: str) -> bool:
+        return module in self._cache
+
+    def _cache_insert(self, module: str) -> None:
+        if len(self._cache) >= self._cache_capacity and module not in self._cache:
+            self._cache.pop()
+        self._cache.add(module)
+
+    def reconfigure(self, core_index: int, module: str) -> Event:
+        """Process-style reconfiguration; returns a completion event."""
+        if not 0 <= core_index < len(self.cores):
+            raise ReconfigError(f"no core {core_index}")
+        core = self.cores[core_index]
+        if core.busy:
+            raise ReconfigError(
+                f"core {core_index} is processing a packet; "
+                "reconfiguration refused"
+            )
+        bitstream = self.store.get(module)
+        region = self.regions[core_index]
+        region.check_fit(bitstream)
+
+        cached = self._is_cached(module)
+        cycles = self.load_cycles(module, cached)
+        done = self.sim.event(f"reconfig.core{core_index}.{module}")
+
+        def proc():
+            yield Delay(cycles)
+            region.load(bitstream)
+            core.use_whirlpool_personality(bitstream.personality == "whirlpool")
+            self._cache_insert(module)
+            record = ReconfigRecord(
+                core_index=core_index,
+                module=module,
+                store=self.store.kind,
+                cached=cached,
+                cycles=cycles,
+                seconds=cycles / self.clock_hz,
+            )
+            self.history.append(record)
+            done.trigger(record)
+
+        self.sim.add_process(proc(), name=f"reconfig.{module}")
+        return done
+
+    def reconfigure_sync(self, core_index: int, module: str) -> ReconfigRecord:
+        """Blocking wrapper around :meth:`reconfigure`."""
+        done = self.reconfigure(core_index, module)
+        return self.sim.run_until_event(done)

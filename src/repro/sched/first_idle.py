@@ -1,0 +1,26 @@
+"""The paper's policy: first idle core, arrival order (section III.C).
+
+"When the Task Scheduler receives either an ENCRYPT or a DECRYPT
+instruction, an incoming packet is forwarded to the first idle core
+found.  If no core is available, it returns an error flag."
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.sched.policy import MappingPolicy
+
+
+class FirstIdlePolicy(MappingPolicy):
+    """Lowest-index idle cores, no reservations, no queueing."""
+
+    name = "first_idle"
+
+    def select_cores(
+        self, scheduler, needed: int, priority: int = 1
+    ) -> Optional[Sequence[int]]:
+        idle = self._idle(scheduler)
+        if len(idle) < needed:
+            return None
+        return idle[:needed]

@@ -1,0 +1,53 @@
+"""Latency-aware CCM splitting (the Table II trade-off, automated).
+
+The paper observes (section VII.A) that CCM on one core maximises
+aggregate throughput while CCM split over two cores roughly halves the
+per-packet latency; "designers should make scheduling choices according
+to system needs".  This policy makes that choice per request: when
+enough cores are idle and the request is latency-sensitive, it grants a
+two-core split; under load it falls back to single-core mapping.
+
+The communication controller consults :meth:`prefer_two_core` *before*
+formatting, since the split changes the FIFO layouts.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.sched.policy import MappingPolicy
+
+
+class LatencyAwarePolicy(MappingPolicy):
+    """Split CCM across two cores when the pool is underloaded."""
+
+    name = "latency_aware"
+
+    def __init__(self, split_when_idle_at_least: int = 2, priority_threshold: int = 1):
+        self.split_when_idle_at_least = split_when_idle_at_least
+        self.priority_threshold = priority_threshold
+
+    def prefer_two_core(self, scheduler, priority: int = 1) -> bool:
+        """Should a CCM request be formatted for a two-core split now?"""
+        return (
+            priority <= self.priority_threshold
+            and len(self._idle(scheduler)) >= self.split_when_idle_at_least
+        )
+
+    def select_cores(
+        self, scheduler, needed: int, priority: int = 1
+    ) -> Optional[Sequence[int]]:
+        idle = self._idle(scheduler)
+        if len(idle) < needed:
+            return None
+        if needed == 2:
+            # Prefer neighbouring cores: the inter-core ring sends each
+            # core's mailbox to its right neighbour, and the MAC core
+            # must be the *left* neighbour of the CTR core.
+            n = len(scheduler.cores)
+            idle_set = set(idle)
+            for i in idle:
+                if (i + 1) % n in idle_set:
+                    return [i, (i + 1) % n]
+            return None
+        return idle[:needed]

@@ -1,0 +1,30 @@
+"""Base class for core-mapping policies."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+
+class MappingPolicy:
+    """Selects which idle cores serve a request.
+
+    ``select_cores`` returns the chosen core indices (length == needed)
+    or None when the request must be rejected — the error-flag path of
+    the ENCRYPT/DECRYPT instructions.
+    """
+
+    name = "base"
+
+    def select_cores(
+        self, scheduler, needed: int, priority: int = 1
+    ) -> Optional[Sequence[int]]:
+        """Pick *needed* cores from the scheduler's idle set."""
+        raise NotImplementedError
+
+    # Shared helper.
+    @staticmethod
+    def _idle(scheduler) -> List[int]:
+        return scheduler.idle_core_indices()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"

@@ -1,0 +1,41 @@
+"""Priority mapping with core reservation (section VIII's QoS ask).
+
+"It must also be possible to priorize certain streams over others to
+allow some sort of quality-of-service."  This policy reserves a number
+of cores that only high-priority (low numeric value) requests may use,
+so latency-critical traffic (voice) never waits behind bulk transfers
+for the whole pool.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.errors import SchedulerError
+from repro.sched.policy import MappingPolicy
+
+
+class PriorityReservePolicy(MappingPolicy):
+    """Reserve the highest-index cores for priority <= threshold."""
+
+    name = "priority_reserve"
+
+    def __init__(self, reserved_cores: int = 1, priority_threshold: int = 0):
+        if reserved_cores < 0:
+            raise SchedulerError("reserved_cores must be non-negative")
+        self.reserved_cores = reserved_cores
+        self.priority_threshold = priority_threshold
+
+    def select_cores(
+        self, scheduler, needed: int, priority: int = 1
+    ) -> Optional[Sequence[int]]:
+        idle = self._idle(scheduler)
+        n = len(scheduler.cores)
+        reserved = set(range(n - self.reserved_cores, n))
+        if priority <= self.priority_threshold:
+            pool = idle  # privileged traffic may use everything
+        else:
+            pool = [i for i in idle if i not in reserved]
+        if len(pool) < needed:
+            return None
+        return pool[:needed]

@@ -1,0 +1,35 @@
+"""Round-robin mapping: rotate the starting core between requests.
+
+Evens out per-core wear/utilisation compared to first-idle (which
+always favours core 0) without changing aggregate throughput — a useful
+baseline for the section-VIII scheduling study.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.sched.policy import MappingPolicy
+
+
+class RoundRobinPolicy(MappingPolicy):
+    """Start the idle-core search at a rotating index."""
+
+    name = "round_robin"
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def select_cores(
+        self, scheduler, needed: int, priority: int = 1
+    ) -> Optional[Sequence[int]]:
+        idle = set(self._idle(scheduler))
+        if len(idle) < needed:
+            return None
+        n = len(scheduler.cores)
+        order = [(self._next + i) % n for i in range(n)]
+        chosen = [i for i in order if i in idle][:needed]
+        if len(chosen) < needed:
+            return None
+        self._next = (chosen[-1] + 1) % n
+        return chosen

@@ -1,0 +1,187 @@
+"""The 512 x 32-bit FIFOs of each Cryptographic Core.
+
+Each core has one input and one output FIFO (paper section IV.A); a
+full FIFO holds 2048 bytes — "sufficient for most communication
+protocols" and exactly one maximum-size packet (128 x 128-bit blocks).
+
+The FIFO is word-granular (32-bit entries) like the hardware, but for
+convenience exposes 128-bit block push/pop built on the word operations.
+Overflow/underflow raise instead of silently corrupting, and the
+security-relevant ``purge`` models the hardware re-initialisation on
+authentication failure (section IV.C).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional
+
+from repro.errors import FifoError
+from repro.sim.kernel import Event, Simulator
+from repro.utils.bits import bytes_to_words32, words32_to_bytes
+
+#: Depth in 32-bit words (512 x 32 bits == 2 KB).
+DEFAULT_DEPTH_WORDS = 512
+
+WORDS_PER_BLOCK = 4
+
+
+class WordFifo:
+    """A bounded FIFO of 32-bit words with wakeup events.
+
+    Producers/consumers are expected to police capacity via
+    :meth:`can_push` / :meth:`can_pop` (as the hardware handshake does);
+    violating it raises :class:`FifoError`.  ``wait_not_empty`` /
+    ``wait_not_full`` return latched events for process-style waiting.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        depth_words: int = DEFAULT_DEPTH_WORDS,
+        name: str = "fifo",
+    ):
+        if depth_words <= 0:
+            raise FifoError(f"depth must be positive, got {depth_words}")
+        self.sim = sim
+        self.name = name
+        self.depth_words = depth_words
+        self._words: Deque[int] = deque()
+        self._not_empty_waiters: List[Event] = []
+        self._not_full_waiters: List[Event] = []
+        self._push_hooks: List = []
+        self._pop_hooks: List = []
+        #: Cumulative statistics (words ever pushed/popped, purges).
+        self.total_pushed = 0
+        self.total_popped = 0
+        self.purge_count = 0
+        self.high_watermark = 0
+
+    # -- capacity ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._words)
+
+    @property
+    def free_words(self) -> int:
+        """Remaining capacity in words."""
+        return self.depth_words - len(self._words)
+
+    def can_push(self, nwords: int = 1) -> bool:
+        """Whether *nwords* more words fit."""
+        return self.free_words >= nwords
+
+    def can_pop(self, nwords: int = 1) -> bool:
+        """Whether *nwords* words are available."""
+        return len(self._words) >= nwords
+
+    # -- word operations ---------------------------------------------------
+
+    def push_word(self, word: int) -> None:
+        """Append one 32-bit word; raises on overflow."""
+        if not 0 <= word <= 0xFFFFFFFF:
+            raise FifoError(f"{self.name}: word {word:#x} exceeds 32 bits")
+        if not self.can_push():
+            raise FifoError(f"{self.name}: overflow (depth {self.depth_words})")
+        self._words.append(word)
+        self.total_pushed += 1
+        self.high_watermark = max(self.high_watermark, len(self._words))
+        self._wake(self._not_empty_waiters)
+        self._fire_hooks(self._push_hooks)
+
+    def pop_word(self) -> int:
+        """Remove and return the oldest word; raises on underflow."""
+        if not self.can_pop():
+            raise FifoError(f"{self.name}: underflow")
+        word = self._words.popleft()
+        self.total_popped += 1
+        self._wake(self._not_full_waiters)
+        self._fire_hooks(self._pop_hooks)
+        return word
+
+    def peek_word(self) -> Optional[int]:
+        """The oldest word without removing it (None when empty)."""
+        return self._words[0] if self._words else None
+
+    # -- 128-bit block convenience ------------------------------------------
+
+    def push_block(self, block: bytes) -> None:
+        """Push a 16-byte block as four big-endian words."""
+        if len(block) != 16:
+            raise FifoError(f"{self.name}: block must be 16 bytes, got {len(block)}")
+        if not self.can_push(WORDS_PER_BLOCK):
+            raise FifoError(f"{self.name}: overflow pushing block")
+        for w in bytes_to_words32(block):
+            self.push_word(w)
+
+    def pop_block(self) -> bytes:
+        """Pop four words and return them as a 16-byte block."""
+        if not self.can_pop(WORDS_PER_BLOCK):
+            raise FifoError(f"{self.name}: underflow popping block")
+        return words32_to_bytes([self.pop_word() for _ in range(WORDS_PER_BLOCK)])
+
+    @property
+    def blocks_available(self) -> int:
+        """How many whole 128-bit blocks can currently be popped."""
+        return len(self._words) // WORDS_PER_BLOCK
+
+    # -- events --------------------------------------------------------------
+
+    def wait_not_empty(self) -> Event:
+        """Event that fires when at least one word is present."""
+        ev = self.sim.event(f"{self.name}.not_empty")
+        if self._words:
+            ev.trigger()
+        else:
+            self._not_empty_waiters.append(ev)
+        return ev
+
+    def wait_not_full(self) -> Event:
+        """Event that fires when at least one word of space exists."""
+        ev = self.sim.event(f"{self.name}.not_full")
+        if self.can_push():
+            ev.trigger()
+        else:
+            self._not_full_waiters.append(ev)
+        return ev
+
+    def _wake(self, waiters: List[Event]) -> None:
+        while waiters:
+            waiters.pop(0).trigger()
+
+    def add_push_hook(self, callback) -> None:
+        """One-shot callback on the next push (level-change edge).
+
+        Unlike :meth:`wait_not_empty` — which fires immediately while
+        the FIFO is merely non-empty — a push hook only fires when a new
+        word actually arrives, which is what a consumer waiting for a
+        *whole block* must re-arm on to avoid same-cycle livelock.
+        """
+        self._push_hooks.append(callback)
+
+    def add_pop_hook(self, callback) -> None:
+        """One-shot callback on the next pop."""
+        self._pop_hooks.append(callback)
+
+    def _fire_hooks(self, hooks: List) -> None:
+        if hooks:
+            ready, hooks[:] = list(hooks), []
+            for cb in ready:
+                cb()
+
+    # -- security ---------------------------------------------------------
+
+    def purge(self) -> int:
+        """Drop all contents (hardware re-init on authentication failure).
+
+        Returns the number of words discarded.
+        """
+        dropped = len(self._words)
+        self._words.clear()
+        self.purge_count += 1
+        self._wake(self._not_full_waiters)
+        return dropped
+
+    def snapshot(self) -> List[int]:
+        """Copy of current contents, oldest first (for tests/debug)."""
+        return list(self._words)

@@ -1,0 +1,263 @@
+"""The event queue, processes and events.
+
+Model
+-----
+- :class:`Simulator` owns an integer clock (``now``, in cycles) and a
+  priority queue of pending callbacks.
+- A :class:`Process` wraps a generator.  The generator may yield:
+
+  * :class:`Delay` — resume after N cycles;
+  * :class:`Event` — resume when the event triggers (the yield
+    expression evaluates to the event's value);
+  * ``None`` — resume in the same cycle, after already-scheduled
+    callbacks (a "delta cycle", useful to let signals settle).
+
+- An :class:`Event` triggers at most once and fans out to any number of
+  waiters.  Waiting on an already-triggered event resumes immediately
+  with the stored value (latch semantics — this is exactly what the
+  paper's custom ``HALT`` needs to avoid the done-pulse race).
+
+Determinism: ties in time are broken by insertion order, so a given
+program produces one reproducible schedule.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, List, Optional
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class Delay:
+    """Yielded by a process to sleep for *cycles* (must be >= 0)."""
+
+    cycles: int
+
+    def __post_init__(self) -> None:
+        if self.cycles < 0:
+            raise SimulationError(f"negative delay: {self.cycles}")
+
+
+class Event:
+    """A one-shot occurrence processes can wait on.
+
+    Once triggered, the value is latched: late waiters resume
+    immediately.  Triggering twice raises.
+    """
+
+    __slots__ = ("sim", "name", "_triggered", "_value", "_waiters")
+
+    def __init__(self, sim: "Simulator", name: str = ""):
+        self.sim = sim
+        self.name = name
+        self._triggered = False
+        self._value: Any = None
+        self._waiters: List[Callable[[Any], None]] = []
+
+    @property
+    def triggered(self) -> bool:
+        """Whether the event has fired."""
+        return self._triggered
+
+    @property
+    def value(self) -> Any:
+        """The value the event fired with (None until triggered)."""
+        return self._value
+
+    def trigger(self, value: Any = None) -> None:
+        """Fire the event now, resuming all waiters this cycle."""
+        if self._triggered:
+            raise SimulationError(f"event {self.name!r} triggered twice")
+        self._triggered = True
+        self._value = value
+        waiters, self._waiters = self._waiters, []
+        for cb in waiters:
+            self.sim.call_soon(cb, value)
+
+    def add_waiter(self, callback: Callable[[Any], None]) -> None:
+        """Register *callback(value)*; runs immediately if already fired."""
+        if self._triggered:
+            self.sim.call_soon(callback, self._value)
+        else:
+            self._waiters.append(callback)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "triggered" if self._triggered else "pending"
+        return f"Event({self.name!r}, {state})"
+
+
+class Process:
+    """A running generator bound to the simulator.
+
+    The process's :attr:`done` event triggers with the generator's
+    return value when it finishes.
+    """
+
+    __slots__ = ("sim", "name", "generator", "done", "_finished")
+
+    def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
+        self.sim = sim
+        self.name = name or getattr(generator, "__name__", "process")
+        self.generator = generator
+        self.done = Event(sim, f"{self.name}.done")
+        self._finished = False
+
+    @property
+    def finished(self) -> bool:
+        """Whether the generator has run to completion."""
+        return self._finished
+
+    def _step(self, send_value: Any = None) -> None:
+        try:
+            yielded = self.generator.send(send_value)
+        except StopIteration as stop:
+            self._finished = True
+            self.done.trigger(stop.value)
+            return
+        if isinstance(yielded, Delay):
+            self.sim.call_at(self.sim.now + yielded.cycles, self._step, None)
+        elif isinstance(yielded, Event):
+            yielded.add_waiter(self._step)
+        elif yielded is None:
+            self.sim.call_soon(self._step, None)
+        else:
+            raise SimulationError(
+                f"process {self.name!r} yielded {yielded!r}; expected "
+                "Delay, Event or None"
+            )
+
+
+@dataclass(order=True)
+class _Entry:
+    time: int
+    seq: int
+    callback: Callable = field(compare=False)
+    argument: Any = field(compare=False)
+    cancelled: bool = field(compare=False, default=False)
+
+
+class Simulator:
+    """The discrete-event scheduler (one instance per modeled device).
+
+    Examples
+    --------
+    >>> sim = Simulator()
+    >>> log = []
+    >>> def proc():
+    ...     yield Delay(5)
+    ...     log.append(sim.now)
+    >>> _ = sim.add_process(proc())
+    >>> sim.run()
+    >>> log
+    [5]
+    """
+
+    def __init__(self) -> None:
+        self.now = 0
+        self._queue: List[_Entry] = []
+        self._seq = 0
+        self._running = False
+
+    # -- scheduling primitives -------------------------------------------
+
+    def call_at(self, time: int, callback: Callable, argument: Any = None) -> _Entry:
+        """Schedule ``callback(argument)`` at absolute cycle *time*."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at {time}, current time is {self.now}"
+            )
+        entry = _Entry(time, self._seq, callback, argument)
+        self._seq += 1
+        heapq.heappush(self._queue, entry)
+        return entry
+
+    def call_later(self, delay: int, callback: Callable, argument: Any = None) -> _Entry:
+        """Schedule ``callback(argument)`` *delay* cycles from now."""
+        return self.call_at(self.now + delay, callback, argument)
+
+    def call_soon(self, callback: Callable, argument: Any = None) -> _Entry:
+        """Schedule ``callback(argument)`` later in the current cycle."""
+        return self.call_at(self.now, callback, argument)
+
+    # -- processes and events --------------------------------------------
+
+    def add_process(self, generator: Generator, name: str = "") -> Process:
+        """Register *generator* as a process starting this cycle."""
+        proc = Process(self, generator, name)
+        self.call_soon(proc._step, None)
+        return proc
+
+    def event(self, name: str = "") -> Event:
+        """Create a fresh one-shot event."""
+        return Event(self, name)
+
+    def timeout(self, cycles: int, value: Any = None) -> Event:
+        """An event that fires *cycles* from now with *value*."""
+        ev = Event(self, f"timeout@{self.now + cycles}")
+        self.call_later(cycles, ev.trigger, value)
+        return ev
+
+    # -- execution --------------------------------------------------------
+
+    def run(self, until: Optional[int] = None, max_events: int = 50_000_000) -> None:
+        """Run until the queue drains or *until* cycles is reached.
+
+        ``max_events`` is a runaway guard for buggy models: exceeding it
+        raises :class:`SimulationError` instead of hanging the host.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (re-entrant run)")
+        self._running = True
+        processed = 0
+        try:
+            while self._queue:
+                entry = self._queue[0]
+                if entry.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and entry.time > until:
+                    self.now = until
+                    return
+                heapq.heappop(self._queue)
+                self.now = entry.time
+                entry.callback(entry.argument)
+                processed += 1
+                if processed > max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}; runaway model?"
+                    )
+            if until is not None and until > self.now:
+                self.now = until
+        finally:
+            self._running = False
+
+    def run_until_event(self, event: Event, limit: int = 1_000_000_000) -> Any:
+        """Run until *event* triggers; returns its value.
+
+        Raises :class:`SimulationError` if the queue drains (deadlock)
+        or the cycle *limit* passes without the event firing.
+        """
+        while not event.triggered:
+            if not self._queue:
+                raise SimulationError(
+                    f"deadlock: queue drained at cycle {self.now} while "
+                    f"waiting for {event.name!r}"
+                )
+            if self.now > limit:
+                raise SimulationError(
+                    f"cycle limit {limit} exceeded waiting for {event.name!r}"
+                )
+            entry = heapq.heappop(self._queue)
+            if entry.cancelled:
+                continue
+            self.now = entry.time
+            entry.callback(entry.argument)
+        return event.value
+
+    @property
+    def pending_events(self) -> int:
+        """Number of queued (non-cancelled) callbacks."""
+        return sum(1 for e in self._queue if not e.cancelled)

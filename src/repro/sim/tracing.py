@@ -1,0 +1,68 @@
+"""Structured trace recording (the software analogue of a waveform dump).
+
+Components emit :class:`TraceEvent` rows through a shared
+:class:`TraceRecorder`; tests and the cycle-analysis benchmarks query
+them to measure, e.g., the steady-state GCM loop period that the paper
+reports as 49 cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One trace row: cycle, component, event kind, free-form details."""
+
+    cycle: int
+    component: str
+    kind: str
+    details: Dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        detail = " ".join(f"{k}={v}" for k, v in self.details.items())
+        return f"[{self.cycle:>10}] {self.component:<18} {self.kind:<14} {detail}"
+
+
+class TraceRecorder:
+    """Collects trace events; disabled recorders are near-free."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.events: List[TraceEvent] = []
+
+    def record(self, cycle: int, component: str, kind: str, **details: Any) -> None:
+        """Append one event (no-op when disabled)."""
+        if self.enabled:
+            self.events.append(TraceEvent(cycle, component, kind, details))
+
+    def filter(
+        self,
+        component: Optional[str] = None,
+        kind: Optional[str] = None,
+    ) -> List[TraceEvent]:
+        """Events matching the given component and/or kind."""
+        out: Iterable[TraceEvent] = self.events
+        if component is not None:
+            out = (e for e in out if e.component == component)
+        if kind is not None:
+            out = (e for e in out if e.kind == kind)
+        return list(out)
+
+    def cycles_of(self, component: str, kind: str) -> List[int]:
+        """The cycle numbers at which (component, kind) occurred."""
+        return [e.cycle for e in self.filter(component, kind)]
+
+    def periods(self, component: str, kind: str) -> List[int]:
+        """Differences between consecutive occurrences — loop periods."""
+        cycles = self.cycles_of(component, kind)
+        return [b - a for a, b in zip(cycles, cycles[1:])]
+
+    def clear(self) -> None:
+        """Drop all recorded events."""
+        self.events.clear()
+
+    def __len__(self) -> int:
+        return len(self.events)

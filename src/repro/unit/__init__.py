@@ -1,0 +1,34 @@
+"""The Cryptographic Unit (CU) — paper section V.
+
+A CU is the reconfigurable datapath of each Cryptographic Core: a
+4 x 128-bit bank register, an instruction decoder, and a set of
+processing cores (iterative 32-bit AES, digit-serial GHASH, masked
+XOR/comparator, 16-bit INC, 32-bit I/O).  It executes the 8-bit
+instructions of Table I of the paper, issued by the core's 8-bit
+controller through its output port.
+
+Two personalities exist, mirroring the partial-reconfiguration
+experiment (Table IV): the AES personality
+(:class:`repro.unit.unit.CryptoUnit`) and the Whirlpool personality
+(:class:`repro.unit.whirlpool_unit.WhirlpoolUnit`).
+"""
+
+from repro.unit.isa import CuOp, cu_encode, cu_decode, CuDecoded
+from repro.unit.timing import TimingModel, DEFAULT_TIMING
+from repro.unit.bank import BankRegister
+from repro.unit.unit import CryptoUnit
+from repro.unit.whirlpool_unit import WhirlpoolUnit, WpOp, wp_encode
+
+__all__ = [
+    "CuOp",
+    "cu_encode",
+    "cu_decode",
+    "CuDecoded",
+    "TimingModel",
+    "DEFAULT_TIMING",
+    "BankRegister",
+    "CryptoUnit",
+    "WhirlpoolUnit",
+    "WpOp",
+    "wp_encode",
+]

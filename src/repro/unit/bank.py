@@ -1,0 +1,73 @@
+"""The 4 x 128-bit bank register (paper section V.A).
+
+The hardware reaches each 128-bit word through four 32-bit sub-word
+accesses sequenced by a 2-bit counter; the model keeps whole 16-byte
+values but exposes the sub-word view for tests that exercise the
+datapath shape.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import BankAddressError
+from repro.utils.bits import bytes_to_words32, words32_to_bytes
+
+NUM_REGISTERS = 4
+REGISTER_BYTES = 16
+
+
+class BankRegister:
+    """Four 128-bit registers addressed by 2-bit fields."""
+
+    def __init__(self) -> None:
+        self._regs: List[bytes] = [bytes(REGISTER_BYTES) for _ in range(NUM_REGISTERS)]
+        #: Write counter per register (datapath activity statistics).
+        self.writes = [0] * NUM_REGISTERS
+        self.reads = [0] * NUM_REGISTERS
+
+    def _check(self, index: int) -> None:
+        if not 0 <= index < NUM_REGISTERS:
+            raise BankAddressError(f"bank register index {index} out of range")
+
+    def read(self, index: int) -> bytes:
+        """Full 128-bit read of register *index*."""
+        self._check(index)
+        self.reads[index] += 1
+        return self._regs[index]
+
+    def write(self, index: int, value: bytes) -> None:
+        """Full 128-bit write of register *index*."""
+        self._check(index)
+        if len(value) != REGISTER_BYTES:
+            raise BankAddressError(
+                f"bank register value must be 16 bytes, got {len(value)}"
+            )
+        self._regs[index] = bytes(value)
+        self.writes[index] += 1
+
+    def read_subword(self, index: int, sub: int) -> int:
+        """One 32-bit sub-word (sub 0 = most significant)."""
+        self._check(index)
+        if not 0 <= sub <= 3:
+            raise BankAddressError(f"sub-word index {sub} out of range")
+        return bytes_to_words32(self._regs[index])[sub]
+
+    def write_subword(self, index: int, sub: int, word: int) -> None:
+        """Replace one 32-bit sub-word."""
+        self._check(index)
+        if not 0 <= sub <= 3:
+            raise BankAddressError(f"sub-word index {sub} out of range")
+        words = bytes_to_words32(self._regs[index])
+        words[sub] = word
+        self._regs[index] = words32_to_bytes(words)
+        self.writes[index] += 1
+
+    def clear(self) -> None:
+        """Zero all registers (channel teardown hygiene)."""
+        for i in range(NUM_REGISTERS):
+            self._regs[i] = bytes(REGISTER_BYTES)
+
+    def snapshot(self) -> List[bytes]:
+        """Copies of all four registers."""
+        return list(self._regs)

@@ -1,0 +1,24 @@
+"""Processing cores embedded in the Cryptographic Unit (paper Fig. 3).
+
+Each core couples a *functional* model (delegating to the bit-exact
+gold crypto in :mod:`repro.crypto`) with a *busy-interval* timing model.
+The Cryptographic Unit sequences them; the separation mirrors the
+hardware, where SAES/SGFM launch a core in the background while the
+32-bit datapath keeps executing other instructions.
+"""
+
+from repro.unit.cores.aes_core import AesCore
+from repro.unit.cores.ghash_core import GhashCore
+from repro.unit.cores.xor_core import masked_equal, masked_xor, mask_for_bytes
+from repro.unit.cores.inc_core import inc16
+from repro.unit.cores.io_core import IoCore
+
+__all__ = [
+    "AesCore",
+    "GhashCore",
+    "masked_equal",
+    "masked_xor",
+    "mask_for_bytes",
+    "inc16",
+    "IoCore",
+]

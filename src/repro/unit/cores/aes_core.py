@@ -1,0 +1,66 @@
+"""The iterative 32-bit AES encryption core (paper section V.A).
+
+Encryption only — the MCCP's modes (CTR/CCM/GCM) never need the inverse
+cipher, so the hardware omits it and so do we.  One block takes
+44/52/60 cycles depending on the key size; the core computes in the
+background between ``SAES`` (sample input, go busy) and ``FAES``
+(deliver the result).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.crypto.aes import encrypt_block_with_schedule
+from repro.errors import UnitError
+from repro.unit.timing import TimingModel
+
+
+class AesCore:
+    """Background AES engine with busy-interval bookkeeping."""
+
+    def __init__(self, timing: TimingModel):
+        self.timing = timing
+        self.busy_until = 0
+        self._result: Optional[bytes] = None
+        self._pending = False
+        #: Total blocks encrypted (utilisation statistics).
+        self.blocks_processed = 0
+        self.busy_cycles_total = 0
+
+    def start(self, block: bytes, round_keys: Sequence[Sequence[int]], now: int) -> int:
+        """``SAES``: sample *block*, return the completion cycle.
+
+        An unread previous result is discarded (the firmware pattern in
+        Listing 1 legitimately launches one extra encryption per packet
+        whose result is never finalized).
+        """
+        if now < self.busy_until:
+            raise UnitError(
+                f"SAES at cycle {now} while AES busy until {self.busy_until}"
+            )
+        key_bits = 32 * (len(round_keys) - 1 - 6)  # 10->128, 12->192, 14->256
+        busy = self.timing.aes_busy(key_bits)
+        self._result = encrypt_block_with_schedule(bytes(block), round_keys)
+        self._pending = True
+        self.busy_until = now + busy
+        self.blocks_processed += 1
+        self.busy_cycles_total += busy
+        return self.busy_until
+
+    def finalize(self, now: int) -> "tuple[bytes, int]":
+        """``FAES``: return ``(result, ready_cycle)``.
+
+        ``ready_cycle`` is when the result (and the done pulse) appears:
+        ``max(busy_until, now) + finalize_tail``.
+        """
+        if not self._pending or self._result is None:
+            raise UnitError("FAES with no pending AES computation")
+        ready = max(self.busy_until, now) + self.timing.finalize_tail
+        self._pending = False
+        return self._result, ready
+
+    @property
+    def has_pending(self) -> bool:
+        """Whether a started computation has not been finalized yet."""
+        return self._pending

@@ -1,0 +1,60 @@
+"""The digit-serial GHASH core (paper section V.A, after Lemsitzer).
+
+3-bit digits, 43 cycles per 128-bit multiplication.  ``LOADH`` installs
+the hash subkey and clears the accumulator; ``SGFM`` absorbs one block
+in the background; ``FGFM`` reads the accumulator out.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.crypto.ghash import GHash
+from repro.errors import UnitError
+from repro.unit.timing import TimingModel
+
+
+class GhashCore:
+    """Background GHASH engine with busy-interval bookkeeping."""
+
+    def __init__(self, timing: TimingModel):
+        self.timing = timing
+        self.busy_until = 0
+        self._ghash: Optional[GHash] = None
+        #: Total blocks absorbed.
+        self.blocks_processed = 0
+
+    def load_h(self, h: bytes, now: int) -> None:
+        """``LOADH``: install subkey *h*, reset the accumulator."""
+        if now < self.busy_until:
+            raise UnitError(
+                f"LOADH at cycle {now} while GHASH busy until {self.busy_until}"
+            )
+        self._ghash = GHash(h)
+
+    def absorb(self, block: bytes, now: int) -> int:
+        """``SGFM``: absorb *block*; returns the completion cycle.
+
+        If the multiplier is still busy the start is held until it
+        frees (the hardware handshake does the same), so back-to-back
+        SGFM streams run at one block per 43 cycles.
+        """
+        if self._ghash is None:
+            raise UnitError("SGFM before LOADH")
+        start = max(now, self.busy_until)
+        self._ghash.update(bytes(block))
+        self.busy_until = start + self.timing.ghash_cycles
+        self.blocks_processed += 1
+        return self.busy_until
+
+    def finalize(self, now: int) -> "tuple[bytes, int]":
+        """``FGFM``: return ``(accumulator, ready_cycle)``."""
+        if self._ghash is None:
+            raise UnitError("FGFM before LOADH")
+        ready = max(self.busy_until, now) + self.timing.finalize_tail
+        return self._ghash.digest(), ready
+
+    @property
+    def loaded(self) -> bool:
+        """Whether a subkey has been installed."""
+        return self._ghash is not None

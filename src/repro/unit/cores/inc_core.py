@@ -1,0 +1,22 @@
+"""The INC core: 16-bit increment of a 128-bit word (section V.A).
+
+Increments the 16 least significant bits by 1..4, wrapping modulo
+2^16; the upper 112 bits pass through untouched.  This exactly suits
+the counter blocks of the radio's modes: GCM's 96-bit-IV counters and
+CCM's q=2 counters both keep their counting field within the low 16
+bits for packet-sized data.
+"""
+
+from __future__ import annotations
+
+from repro.errors import UnitError
+
+
+def inc16(block: bytes, amount: int) -> bytes:
+    """Return *block* with its low 16 bits incremented by *amount*."""
+    if len(block) != 16:
+        raise UnitError(f"INC operand must be 16 bytes, got {len(block)}")
+    if not 1 <= amount <= 4:
+        raise UnitError(f"INC amount must be 1..4, got {amount}")
+    low = (int.from_bytes(block[14:], "big") + amount) & 0xFFFF
+    return block[:14] + low.to_bytes(2, "big")

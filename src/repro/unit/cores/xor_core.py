@@ -1,0 +1,45 @@
+"""The 32-bit XOR/comparator core with 16-bit byte mask (section V.A).
+
+The mask is a 16-bit word: bit *i* (bit 15 = most significant) enables
+byte *i* of the 16-byte result, counting from the most significant
+byte.  This single primitive covers partial final blocks (enable the
+valid prefix) and truncated authentication tags (enable the first
+``tag_length`` bytes).
+"""
+
+from __future__ import annotations
+
+from repro.errors import UnitError
+
+
+def mask_for_bytes(nbytes: int) -> int:
+    """Mask enabling the first *nbytes* bytes of a 16-byte word."""
+    if not 0 <= nbytes <= 16:
+        raise UnitError(f"mask byte count {nbytes} out of range")
+    if nbytes == 0:
+        return 0
+    return ((1 << nbytes) - 1) << (16 - nbytes)
+
+
+def _apply_mask(value: bytes, mask: int) -> bytes:
+    return bytes(
+        b if (mask >> (15 - i)) & 1 else 0 for i, b in enumerate(value)
+    )
+
+
+def masked_xor(a: bytes, b: bytes, mask: int) -> bytes:
+    """``B = (A xor B) and mask`` — the XOR operating mode."""
+    if len(a) != 16 or len(b) != 16:
+        raise UnitError("XOR core operands must be 16 bytes")
+    if not 0 <= mask <= 0xFFFF:
+        raise UnitError(f"mask {mask:#x} exceeds 16 bits")
+    return _apply_mask(bytes(x ^ y for x, y in zip(a, b)), mask)
+
+
+def masked_equal(a: bytes, b: bytes, mask: int) -> bool:
+    """``equ`` flag: true when the masked XOR is all zero.
+
+    With the mask covering ``tag_length`` bytes this is the truncated
+    tag comparison of the RETRIEVE DATA path.
+    """
+    return all(x == 0 for x in masked_xor(a, b, mask))

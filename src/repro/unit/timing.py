@@ -1,0 +1,91 @@
+"""Cycle-cost calibration for the Cryptographic Unit.
+
+The paper gives the anchor numbers (section V.A and VII.A):
+
+- AES: one 128-bit block takes **44 / 52 / 60** cycles for
+  128/192/256-bit keys (iterative core after Chodowiec & Gaj);
+- GHASH: **43** cycles per block (digit-serial, 3-bit digits);
+- every CU instruction nominally runs in **7** cycles from start to
+  done, and replacing the controller's HALT with two NOPs "saves one
+  clock cycle", i.e. a chained predictable instruction effectively
+  occupies **6** cycles;
+- the steady-state loop periods are ``T_GCM = T_SAES + T_FAES = 49``,
+  ``T_CBC = T_SAES + T_FAES + T_XOR = 55`` and
+  ``T_CCM,1core = T_CTR + T_CBC = 104``.
+
+From those equations: with AES busy 44 cycles from SAES issue, the
+finalize tail (AES-done to FAES-done) must be **5** cycles
+(44 + 5 = 49), and the chained XOR contributes its **6**-cycle
+occupancy (49 + 6 = 55).  These constants make the paper's numbers
+*emerge* from simulated firmware rather than being hard-coded.
+
+Whirlpool has no published cycle count in the paper (Table IV only
+reports area/bitstream); ``whirlpool_cycles`` is our documented model
+assumption for a compact 64-bit-datapath core (10 rounds, state and key
+rounds overlapped: ~9 cycles per round).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.errors import KeySizeError
+
+
+@dataclass(frozen=True)
+class TimingModel:
+    """All cycle constants used by the device model."""
+
+    #: AES busy cycles from SAES issue, per key size in bits.
+    aes_cycles: Dict[int, int] = field(
+        default_factory=lambda: {128: 44, 192: 52, 256: 60}
+    )
+    #: GHASH busy cycles from SGFM acceptance.
+    ghash_cycles: int = 43
+    #: Effective occupancy of a predictable (fixed-time) CU instruction
+    #: when chained with NOP padding (7-cycle nominal minus the 1-cycle
+    #: handshake overlap the paper describes).
+    cu_chain_cycles: int = 6
+    #: FAES/FGFM completion tail after the background core finishes.
+    finalize_tail: int = 5
+    #: Controller cycles per instruction (PicoBlaze: 2).
+    controller_cpi: int = 2
+    #: Whirlpool compress busy cycles per 512-bit block (model assumption).
+    whirlpool_cycles: int = 90
+    #: Crossbar transfer: cycles per 32-bit word moved between the
+    #: communication controller and a core FIFO.
+    crossbar_word_cycles: int = 1
+    #: Cycles the Key Scheduler needs per round key generated (one
+    #: 128-bit round key = 4 words through a 32-bit datapath).
+    key_schedule_word_cycles: int = 4
+    #: Task Scheduler software overhead per control instruction
+    #: (decode + core selection on the 8-bit scheduler controller).
+    scheduler_overhead_cycles: int = 40
+
+    def aes_busy(self, key_bits: int) -> int:
+        """AES busy time for *key_bits* (raises on unsupported size)."""
+        try:
+            return self.aes_cycles[key_bits]
+        except KeyError as exc:
+            raise KeySizeError(f"no AES timing for {key_bits}-bit keys") from exc
+
+    def saes_faes_pair(self, key_bits: int) -> int:
+        """The paper's T_SAES + T_FAES (49 for 128-bit keys)."""
+        return self.aes_busy(key_bits) + self.finalize_tail
+
+    def gcm_loop(self, key_bits: int) -> int:
+        """Theoretical GCM/CTR steady-state loop period (section VII.A)."""
+        return self.saes_faes_pair(key_bits)
+
+    def cbc_loop(self, key_bits: int) -> int:
+        """Theoretical CBC-MAC loop period (adds the chained XOR)."""
+        return self.saes_faes_pair(key_bits) + self.cu_chain_cycles
+
+    def ccm_one_core_loop(self, key_bits: int) -> int:
+        """Theoretical one-core CCM loop period (CTR + CBC serialised)."""
+        return self.gcm_loop(key_bits) + self.cbc_loop(key_bits)
+
+
+#: The calibration used across the library and the benchmarks.
+DEFAULT_TIMING = TimingModel()

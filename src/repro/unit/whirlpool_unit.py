@@ -1,0 +1,188 @@
+"""The Whirlpool personality of the reconfigurable Cryptographic Unit.
+
+Section VII.B of the paper demonstrates partial reconfiguration by
+swapping the CU region between the AES encryption core and a Whirlpool
+hashing core (Table IV).  This module is what the region *becomes*
+after loading the Whirlpool bitstream: the same bank register, FIFOs
+and controller interface, but a hash-oriented instruction set.
+
+A 512-bit Whirlpool block is exactly the whole 4 x 128-bit bank, so
+``SWPC`` consumes the full bank as one message block and the chaining
+state lives inside the core (Miyaguchi–Preneel).  Message padding is
+performed by the communication controller, consistent with the paper's
+rule that cores never format data (section VI.B).
+
+Cycle cost per compress is :attr:`TimingModel.whirlpool_cycles` — a
+documented model assumption (the paper reports no Whirlpool timing).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, NamedTuple, Optional
+
+from repro.crypto.whirlpool import compress
+from repro.errors import DecodeError, UnitError
+from repro.sim.kernel import Simulator
+from repro.sim.signals import PulseWire
+from repro.sim.tracing import TraceRecorder
+from repro.unit.bank import BankRegister
+from repro.unit.cores.io_core import IoCore
+from repro.unit.timing import TimingModel
+
+
+class WpOp(enum.IntEnum):
+    """Whirlpool-personality opcodes."""
+
+    NOP = 0x0
+    LOAD = 0x1    # input FIFO -> bank[A]
+    STORE = 0x2   # bank[A] -> output FIFO
+    WPINIT = 0x3  # chaining state <- 0^512
+    SWPC = 0x4    # start compressing the whole bank (background)
+    FWPC = 0x5    # wait for the running compress to finish
+    WPDIG = 0x6   # bank[A] <- digest bytes [16A : 16A+16]
+
+
+class WpDecoded(NamedTuple):
+    op: WpOp
+    a: int
+    b: int
+
+
+def wp_encode(op: WpOp, a: int = 0, b: int = 0) -> int:
+    """Pack a Whirlpool-personality instruction byte."""
+    if not 0 <= a <= 3 or not 0 <= b <= 3:
+        raise DecodeError(f"bank address out of range: a={a} b={b}")
+    return (int(op) << 4) | (a << 2) | b
+
+
+def wp_decode(byte: int) -> WpDecoded:
+    """Unpack a Whirlpool-personality instruction byte."""
+    if not 0 <= byte <= 0xFF:
+        raise DecodeError(f"instruction {byte:#x} exceeds 8 bits")
+    op_bits = (byte >> 4) & 0xF
+    try:
+        op = WpOp(op_bits)
+    except ValueError as exc:
+        raise DecodeError(f"unknown Whirlpool opcode {op_bits:#x}") from exc
+    return WpDecoded(op, (byte >> 2) & 0x3, byte & 0x3)
+
+
+class WhirlpoolUnit:
+    """Drop-in CU replacement after Whirlpool reconfiguration."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        io: IoCore,
+        timing: TimingModel,
+        trace: Optional[TraceRecorder] = None,
+        name: str = "wpu",
+    ):
+        self.sim = sim
+        self.io = io
+        self.timing = timing
+        self.trace = trace if trace is not None else TraceRecorder(enabled=False)
+        self.name = name
+
+        self.bank = BankRegister()
+        self._chain = bytes(64)
+        self._compress_busy_until = 0
+        self.done = PulseWire(sim, f"{name}.done")
+        self.busy = False
+        self._queue: list = []
+        #: Compress invocations (one per 512-bit block).
+        self.blocks_processed = 0
+
+    # -- controller-facing API (same shape as CryptoUnit) -------------------
+
+    def set_mask_low(self, byte: int) -> None:
+        """Masks are meaningless in this personality; accepted, ignored."""
+
+    def set_mask_high(self, byte: int) -> None:
+        """Masks are meaningless in this personality; accepted, ignored."""
+
+    def status_byte(self) -> int:
+        """Bit 2 = compress busy, bit 3 = CU busy (equ/AES bits absent)."""
+        return (4 if self.sim.now < self._compress_busy_until else 0) | (
+            8 if self.busy else 0
+        )
+
+    def reset_for_packet(self) -> None:
+        """Clear per-message state."""
+        if self.busy:
+            raise UnitError(f"{self.name}: reset while busy")
+        self.bank.clear()
+        self._chain = bytes(64)
+        self.done.clear_latch()
+
+    def start(self, instr_byte: int) -> None:
+        """Issue an instruction (queues while busy; see CryptoUnit.start)."""
+        if self.busy or self._queue:
+            self._queue.append(instr_byte)
+            return
+        self._issue(instr_byte)
+
+    # -- execution ----------------------------------------------------------
+
+    def _issue(self, instr_byte: int) -> None:
+        op, a, _b = wp_decode(instr_byte)
+        now = self.sim.now
+        self.busy = True
+        self.done.clear_latch()
+        self.trace.record(now, self.name, "issue", op=op.name, a=a)
+        chain_cycles = self.timing.cu_chain_cycles
+
+        if op is WpOp.NOP:
+            self._finish_at(now + chain_cycles, None)
+        elif op is WpOp.LOAD:
+            self.io.when_input_ready(
+                lambda: self._finish_at(
+                    self.sim.now + chain_cycles,
+                    lambda: self.bank.write(a, self.io.pop_block()),
+                )
+            )
+        elif op is WpOp.STORE:
+            block = self.bank.read(a)
+            self.io.when_output_ready(
+                lambda: self._finish_at(
+                    self.sim.now + chain_cycles,
+                    lambda: self.io.push_block(block),
+                )
+            )
+        elif op is WpOp.WPINIT:
+            self._chain = bytes(64)
+            self._finish_at(now + chain_cycles, None)
+        elif op is WpOp.SWPC:
+            if now < self._compress_busy_until:
+                raise UnitError(f"{self.name}: SWPC while compress busy")
+            message = b"".join(self.bank.read(i) for i in range(4))
+            self._chain = compress(self._chain, message)
+            self._compress_busy_until = now + self.timing.whirlpool_cycles
+            self.blocks_processed += 1
+            self._finish_at(now + chain_cycles, None)
+        elif op is WpOp.FWPC:
+            ready = (
+                max(self._compress_busy_until, now) + self.timing.finalize_tail
+            )
+            self._finish_at(ready, None)
+        elif op is WpOp.WPDIG:
+            digest_part = self._chain[16 * a : 16 * a + 16]
+            self._finish_at(
+                now + chain_cycles, lambda: self.bank.write(a, digest_part)
+            )
+        else:  # pragma: no cover
+            raise UnitError(f"{self.name}: unimplemented op {op!r}")
+
+    def _finish_at(self, time: int, effect: Optional[Callable[[], None]]) -> None:
+        self.sim.call_at(time, self._complete, effect)
+
+    def _complete(self, effect: Optional[Callable[[], None]]) -> None:
+        if effect is not None:
+            effect()
+        self.busy = False
+        self.trace.record(self.sim.now, self.name, "complete")
+        if self._queue:
+            self._issue(self._queue.pop(0))
+        else:
+            self.done.pulse()

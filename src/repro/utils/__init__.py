@@ -1,0 +1,54 @@
+"""Low-level helpers shared by every layer of the MCCP model.
+
+The hardware moves data as 128-bit words carved into four 32-bit
+sub-words (the Cryptographic Unit datapath is 32 bits wide, see paper
+section V.A).  These helpers provide the conversions between Python
+``bytes``/``int`` values and those word shapes, plus byte-level
+operations used by the block-cipher modes.
+"""
+
+from repro.utils.bits import (
+    WORD32_MASK,
+    WORD128_MASK,
+    bytes_to_int,
+    bytes_to_words32,
+    int_to_bytes,
+    rotl8,
+    rotl32,
+    rotr8,
+    words32_to_bytes,
+)
+from repro.utils.bytesops import (
+    BLOCK_BYTES,
+    blocks_of,
+    ceil_div,
+    pad_zeros,
+    split_blocks,
+    xor_bytes,
+)
+from repro.utils.validation import (
+    check_length,
+    check_range,
+    check_type,
+)
+
+__all__ = [
+    "WORD32_MASK",
+    "WORD128_MASK",
+    "bytes_to_int",
+    "bytes_to_words32",
+    "int_to_bytes",
+    "rotl8",
+    "rotl32",
+    "rotr8",
+    "words32_to_bytes",
+    "BLOCK_BYTES",
+    "blocks_of",
+    "ceil_div",
+    "pad_zeros",
+    "split_blocks",
+    "xor_bytes",
+    "check_length",
+    "check_range",
+    "check_type",
+]

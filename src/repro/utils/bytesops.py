@@ -1,0 +1,51 @@
+"""Byte-string operations used by the block-cipher modes.
+
+The MCCP communication controller formats packets *outside* the
+cryptographic cores (paper section VI.B): padding to 128-bit blocks,
+building the GCM length block and the CCM ``B0``/counter blocks all
+happen at this layer, so these helpers are the software home of that
+formatting logic.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+BLOCK_BYTES = 16  # 128-bit block size shared by AES, GHASH and the bank registers
+
+
+def xor_bytes(a: bytes, b: bytes) -> bytes:
+    """XOR two equal-length byte strings."""
+    if len(a) != len(b):
+        raise ValueError(f"length mismatch: {len(a)} != {len(b)}")
+    return bytes(x ^ y for x, y in zip(a, b))
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Ceiling integer division (``ceil(a / b)``) for non-negative *a*."""
+    if b <= 0:
+        raise ValueError("divisor must be positive")
+    return -(-a // b)
+
+
+def pad_zeros(data: bytes, multiple: int = BLOCK_BYTES) -> bytes:
+    """Right-pad *data* with zero bytes up to a multiple of *multiple*.
+
+    Empty input stays empty (GCM/CCM treat a zero-length field as zero
+    blocks, not one zero block).
+    """
+    rem = len(data) % multiple
+    if rem == 0:
+        return data
+    return data + b"\x00" * (multiple - rem)
+
+
+def split_blocks(data: bytes, size: int = BLOCK_BYTES) -> List[bytes]:
+    """Split *data* into *size*-byte blocks; the final block may be short."""
+    return [data[i : i + size] for i in range(0, len(data), size)]
+
+
+def blocks_of(data: bytes, size: int = BLOCK_BYTES) -> Iterator[bytes]:
+    """Iterate over *size*-byte blocks of *data* (final block may be short)."""
+    for i in range(0, len(data), size):
+        yield data[i : i + size]

@@ -1,0 +1,58 @@
+"""Small argument-validation helpers.
+
+Centralising these keeps error messages uniform across the library and
+keeps the hot paths free of ad-hoc ``isinstance`` pyramids.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple, Type, Union
+
+
+def check_type(name: str, value: object, types: Union[Type, Tuple[Type, ...]]) -> None:
+    """Raise ``TypeError`` unless *value* is an instance of *types*."""
+    if not isinstance(value, types):
+        if isinstance(types, tuple):
+            expect = " or ".join(t.__name__ for t in types)
+        else:
+            expect = types.__name__
+        raise TypeError(f"{name} must be {expect}, got {type(value).__name__}")
+
+
+def check_length(
+    name: str,
+    value: bytes,
+    allowed: Optional[Iterable[int]] = None,
+    multiple_of: Optional[int] = None,
+    exc: Type[Exception] = ValueError,
+) -> None:
+    """Validate the length of a byte string.
+
+    Parameters
+    ----------
+    allowed:
+        If given, the exact lengths that are acceptable.
+    multiple_of:
+        If given, the length must be a multiple of this value.
+    exc:
+        Exception class to raise (defaults to ``ValueError``).
+    """
+    n = len(value)
+    if allowed is not None:
+        allowed = tuple(allowed)
+        if n not in allowed:
+            raise exc(f"{name} must be one of {allowed} bytes long, got {n}")
+    if multiple_of is not None and n % multiple_of != 0:
+        raise exc(f"{name} length {n} is not a multiple of {multiple_of}")
+
+
+def check_range(
+    name: str,
+    value: int,
+    low: int,
+    high: int,
+    exc: Type[Exception] = ValueError,
+) -> None:
+    """Raise *exc* unless ``low <= value <= high``."""
+    if not low <= value <= high:
+        raise exc(f"{name} must be in [{low}, {high}], got {value}")

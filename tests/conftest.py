@@ -1,0 +1,58 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.crypto_core import CryptoCore
+from repro.core.harness import run_task
+from repro.crypto.aes import expand_key
+from repro.sim.kernel import Simulator
+from repro.sim.tracing import TraceRecorder
+from repro.unit.timing import DEFAULT_TIMING
+
+
+@pytest.fixture
+def rng():
+    """Deterministic RNG per test."""
+    return random.Random(0xC0FFEE)
+
+
+@pytest.fixture
+def rb(rng):
+    """Deterministic random-bytes factory."""
+
+    def _rb(n: int) -> bytes:
+        return bytes(rng.getrandbits(8) for _ in range(n))
+
+    return _rb
+
+
+def run_single_core(task, key=None, trace=None):
+    """Run one formatted task on a fresh single core; returns (run, core, sim)."""
+    sim = Simulator()
+    core = CryptoCore(sim, DEFAULT_TIMING, trace=trace)
+    if key is not None:
+        core.key_cache.install(expand_key(key), 8 * len(key))
+    run = run_task(sim, core, task)
+    return run, core, sim
+
+
+@pytest.fixture
+def single_core_runner():
+    """Fixture exposing :func:`run_single_core`."""
+    return run_single_core
+
+
+@pytest.fixture
+def traced_runner():
+    """Runner that also returns an enabled trace recorder."""
+
+    def _run(task, key=None):
+        trace = TraceRecorder(enabled=True)
+        run, core, sim = run_single_core(task, key, trace)
+        return run, core, sim, trace
+
+    return _run

@@ -1,0 +1,95 @@
+"""Firmware sources: builder idioms, structure, disassembly."""
+
+import re
+
+import pytest
+
+from repro.core.firmware.builder import FW, P_CU
+from repro.core.firmware.cbc_mac import build_cbc_mac
+from repro.core.firmware.ccm_one_core import build_ccm_one_core
+from repro.core.firmware.ccm_two_core import build_ccm_ctr_core, build_ccm_mac_core
+from repro.core.firmware.ctr import build_ctr
+from repro.core.firmware.gcm import build_gcm
+from repro.core.firmware.whirlpool_fw import build_whirlpool
+from repro.core.params import Direction
+from repro.isa.assembler import assemble
+from repro.unit.isa import CuOp, cu_encode
+
+ALL_SOURCES = {
+    "ctr": build_ctr(),
+    "gcm_enc": build_gcm(Direction.ENCRYPT),
+    "gcm_dec": build_gcm(Direction.DECRYPT),
+    "cbc_enc": build_cbc_mac(Direction.ENCRYPT),
+    "cbc_ver": build_cbc_mac(Direction.DECRYPT),
+    "ccm1_enc": build_ccm_one_core(Direction.ENCRYPT),
+    "ccm1_dec": build_ccm_one_core(Direction.DECRYPT),
+    "ccm2_mac_enc": build_ccm_mac_core(Direction.ENCRYPT),
+    "ccm2_mac_dec": build_ccm_mac_core(Direction.DECRYPT),
+    "ccm2_ctr_enc": build_ccm_ctr_core(Direction.ENCRYPT),
+    "ccm2_ctr_dec": build_ccm_ctr_core(Direction.DECRYPT),
+    "whirlpool": build_whirlpool(),
+}
+
+
+@pytest.mark.parametrize("name,src", ALL_SOURCES.items(), ids=list(ALL_SOURCES))
+def test_all_sources_assemble(name, src):
+    prog = assemble(src, name)
+    assert len(prog) > 10
+    listing = prog.disassemble()
+    assert "OUTPUT" in listing
+
+
+def test_pred_idiom_spacing():
+    """pred() emits exactly 3 controller instructions = 6 cycles."""
+    fw = FW("t").pred(CuOp.XOR, 1, 2)
+    prog = assemble(fw.source())
+    assert len(prog) == 3  # LOAD, OUTPUT, NOP
+
+
+def test_fin_pre_idiom_shape():
+    fw = FW("t").fin_pre(CuOp.FAES, 2, CuOp.SAES, 0)
+    text = fw.source()
+    # prefetch happens between the finalize OUTPUT and the HALT.
+    order = [
+        line.split()[0]
+        for line in text.splitlines()
+        if line.strip() and not line.strip().startswith(";")
+    ]
+    assert order == ["LOAD", "OUTPUT", "LOAD", "HALT", "OUTPUT", "NOP"]
+
+
+def test_cu_bytes_are_correctly_encoded():
+    fw = FW("t").pred(CuOp.SGFM, 1)
+    loads = [l for l in fw.source().splitlines() if "LOAD" in l]
+    value = int(loads[0].split(",")[1].strip())
+    assert value == cu_encode(CuOp.SGFM, 1, 0)
+
+
+def test_gcm_enc_and_dec_differ_in_loop_order():
+    enc, dec = ALL_SOURCES["gcm_enc"], ALL_SOURCES["gcm_dec"]
+    assert enc != dec
+    # Decrypt GHASHes the ciphertext *before* the XOR; encrypt after.
+    enc_loop = enc[enc.index("main_loop"):]
+    dec_loop = dec[dec.index("main_loop"):]
+    assert enc_loop.index("ct = ks ^ pt") < enc_loop.index("GHASH(ct)")
+    assert dec_loop.index("GHASH(ct)") < dec_loop.index("pt = ks ^ ct")
+
+
+def test_every_program_reports_result():
+    for name, src in ALL_SOURCES.items():
+        assert re.search(r"OUTPUT s3, 32", src), name  # P_RESULT = 0x20
+
+
+def test_halt_guards_every_result():
+    """A CU-idle HALT must precede the first result write (race guard).
+
+    The AUTH_FAIL branch shares the HALT emitted by
+    check_equ_and_finish, so only the *first* result write needs a HALT
+    in its backward window; the fail label follows within a few lines.
+    """
+    for name, src in ALL_SOURCES.items():
+        lines = [l.strip() for l in src.splitlines()]
+        first = next(
+            i for i, l in enumerate(lines) if l.startswith("OUTPUT s3, 32")
+        )
+        assert "HALT" in " ".join(lines[max(0, first - 8): first]), name

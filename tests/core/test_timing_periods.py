@@ -1,0 +1,86 @@
+"""E1: the paper's loop equations emerge from simulated firmware.
+
+Section VII.A: T_GCM = 49, T_CBC = 55, T_CCM(1 core) = 104 for 128-bit
+keys, +8 per key-size step per AES pass.  These tests measure the
+steady-state issue periods of real firmware running on the simulated
+controller + CU and compare them with the published equations.
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro.analysis.cycles import paper_loop_cycles
+from repro.core.params import Direction
+from repro.radio import format_cbc_mac, format_ccm_single, format_ctr, format_gcm
+
+from tests.conftest import run_single_core
+from repro.sim.tracing import TraceRecorder
+
+KEYS = {128: bytes(range(16)), 192: bytes(range(24)), 256: bytes(range(32))}
+
+
+def modal_period(trace, op="SAES", stride=1):
+    cycles = [
+        e.cycle
+        for e in trace.filter(None, "issue")
+        if e.details.get("op") == op
+    ]
+    periods = [b - a for a, b in zip(cycles[::stride], cycles[stride::stride])]
+    assert periods, "no steady state observed"
+    return Counter(periods).most_common(1)[0][0]
+
+
+def run_traced(task, key):
+    trace = TraceRecorder(enabled=True)
+    run, core, sim = run_single_core(task, key, trace)
+    assert run.result.ok
+    return trace
+
+
+@pytest.mark.parametrize("key_bits", [128, 192, 256])
+def test_gcm_loop_period(key_bits, rb):
+    task = format_gcm(key_bits, rb(12), b"", rb(2048), Direction.ENCRYPT)
+    trace = run_traced(task, KEYS[key_bits])
+    assert modal_period(trace) == paper_loop_cycles("gcm", key_bits)
+
+
+@pytest.mark.parametrize("key_bits", [128, 192, 256])
+def test_ctr_loop_period(key_bits, rb):
+    task = format_ctr(key_bits, rb(14) + bytes(2), rb(2048))
+    trace = run_traced(task, KEYS[key_bits])
+    assert modal_period(trace) == paper_loop_cycles("ctr", key_bits)
+
+
+@pytest.mark.parametrize("key_bits", [128, 192, 256])
+def test_cbc_mac_loop_period(key_bits, rb):
+    task = format_cbc_mac(key_bits, rb(2048), Direction.ENCRYPT)
+    trace = run_traced(task, KEYS[key_bits])
+    assert modal_period(trace) == paper_loop_cycles("cbc", key_bits)
+
+
+@pytest.mark.parametrize("key_bits", [128, 192, 256])
+def test_ccm_one_core_loop_period(key_bits, rb):
+    task = format_ccm_single(key_bits, rb(13), b"", rb(2048), Direction.ENCRYPT, 8)
+    trace = run_traced(task, KEYS[key_bits])
+    # Two SAES per block (CTR + CBC halves): stride 2 gives the block period.
+    assert modal_period(trace, stride=2) == paper_loop_cycles("ccm1", key_bits)
+
+
+def test_gcm_2kb_packet_throughput_shape(rb):
+    """The 2 KB-packet number sits between 85% and 100% of theoretical."""
+    task = format_gcm(128, rb(12), b"", rb(2048), Direction.ENCRYPT)
+    trace = TraceRecorder(enabled=True)
+    run, core, sim = run_single_core(task, KEYS[128], trace)
+    theoretical = 128 * 190e6 / 49 / 1e6
+    measured = 2048 * 8 * 190e6 / run.result.cycles / 1e6
+    assert 0.85 * theoretical < measured < theoretical
+
+
+def test_ghash_not_the_bottleneck(rb):
+    """GHASH (43 cycles) hides entirely under the 49-cycle AES period."""
+    task = format_gcm(128, rb(12), b"", rb(2048), Direction.ENCRYPT)
+    trace = run_traced(task, KEYS[128])
+    sgfm = [e.cycle for e in trace.filter(None, "issue") if e.details.get("op") == "SGFM"]
+    periods = [b - a for a, b in zip(sgfm, sgfm[1:])]
+    assert Counter(periods).most_common(1)[0][0] == 49

@@ -1,0 +1,80 @@
+"""AES: FIPS-197 vectors, schedule shape, round-trip, error paths."""
+
+import pytest
+
+from repro.crypto.aes import (
+    AES,
+    aes_encrypt_block,
+    decrypt_block_with_schedule,
+    encrypt_block_with_schedule,
+    expand_key,
+)
+from repro.crypto.testvectors import aes_vectors
+from repro.errors import BlockSizeError, KeySizeError
+
+
+@pytest.mark.parametrize("vector", aes_vectors(), ids=lambda v: v.key.hex()[:8])
+def test_known_answers(vector):
+    assert aes_encrypt_block(vector.key, vector.plaintext) == vector.ciphertext
+
+
+@pytest.mark.parametrize("key_bytes,rounds", [(16, 10), (24, 12), (32, 14)])
+def test_schedule_shape(key_bytes, rounds):
+    schedule = expand_key(bytes(range(key_bytes)))
+    assert len(schedule) == rounds + 1
+    assert all(len(rk) == 4 for rk in schedule)
+    assert all(0 <= w <= 0xFFFFFFFF for rk in schedule for w in rk)
+
+
+def test_schedule_first_round_key_is_key():
+    key = bytes(range(16))
+    schedule = expand_key(key)
+    words = [int.from_bytes(key[4 * i : 4 * i + 4], "big") for i in range(4)]
+    assert schedule[0] == words
+
+
+@pytest.mark.parametrize("key_bytes", [16, 24, 32])
+def test_encrypt_decrypt_roundtrip(key_bytes, rb):
+    cipher = AES(rb(key_bytes))
+    block = rb(16)
+    assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+
+def test_cipher_object_metadata():
+    cipher = AES(bytes(24))
+    assert cipher.key_bits == 192
+    assert cipher.rounds == 12
+    assert len(cipher.round_keys) == 13
+
+
+def test_rejects_bad_key_size():
+    with pytest.raises(KeySizeError):
+        expand_key(bytes(15))
+    with pytest.raises(KeySizeError):
+        AES(bytes(33))
+
+
+def test_rejects_bad_block_size():
+    schedule = expand_key(bytes(16))
+    with pytest.raises(BlockSizeError):
+        encrypt_block_with_schedule(bytes(15), schedule)
+    with pytest.raises(BlockSizeError):
+        decrypt_block_with_schedule(bytes(17), schedule)
+
+
+def test_different_keys_differ(rb):
+    block = rb(16)
+    assert aes_encrypt_block(bytes(16), block) != aes_encrypt_block(
+        b"\x01" + bytes(15), block
+    )
+
+
+def test_avalanche_single_bit(rb):
+    key = rb(16)
+    block = rb(16)
+    flipped = bytes([block[0] ^ 0x01]) + block[1:]
+    a = aes_encrypt_block(key, block)
+    b = aes_encrypt_block(key, flipped)
+    differing_bits = sum(bin(x ^ y).count("1") for x, y in zip(a, b))
+    # A correct AES should flip roughly half of the 128 output bits.
+    assert 32 <= differing_bits <= 96

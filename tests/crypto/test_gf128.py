@@ -1,0 +1,79 @@
+"""GF(2^128): algebraic laws (hypothesis) and the digit-serial core."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+import pytest
+
+from repro.crypto.gf128 import (
+    HW_GHASH_CYCLES,
+    ONE,
+    R_POLY,
+    gf128_mul,
+    gf128_mul_digit_serial,
+    gf128_pow,
+)
+
+elements = st.integers(min_value=0, max_value=(1 << 128) - 1)
+
+
+@given(elements, elements)
+@settings(max_examples=50, deadline=None)
+def test_commutative(a, b):
+    assert gf128_mul(a, b) == gf128_mul(b, a)
+
+
+@given(elements, elements, elements)
+@settings(max_examples=30, deadline=None)
+def test_associative(a, b, c):
+    assert gf128_mul(gf128_mul(a, b), c) == gf128_mul(a, gf128_mul(b, c))
+
+
+@given(elements, elements, elements)
+@settings(max_examples=30, deadline=None)
+def test_distributive_over_xor(a, b, c):
+    assert gf128_mul(a, b ^ c) == gf128_mul(a, b) ^ gf128_mul(a, c)
+
+
+@given(elements)
+@settings(max_examples=50, deadline=None)
+def test_identity_and_zero(a):
+    assert gf128_mul(a, ONE) == a
+    assert gf128_mul(a, 0) == 0
+
+
+@given(elements, elements)
+@settings(max_examples=50, deadline=None)
+def test_digit_serial_matches_bit_serial(a, b):
+    product, steps = gf128_mul_digit_serial(a, b)
+    assert product == gf128_mul(a, b)
+    assert steps == HW_GHASH_CYCLES
+
+
+def test_hw_cycle_count_is_43():
+    # ceil(128/3) — the paper's digit-serial GHASH latency.
+    assert HW_GHASH_CYCLES == 43
+
+
+@pytest.mark.parametrize("digit_bits,steps", [(1, 128), (2, 64), (4, 32), (8, 16)])
+def test_other_digit_widths(digit_bits, steps):
+    product, observed = gf128_mul_digit_serial(3 << 120, 7 << 119, digit_bits)
+    assert observed == steps
+    assert product == gf128_mul(3 << 120, 7 << 119)
+
+
+def test_digit_width_validation():
+    with pytest.raises(ValueError):
+        gf128_mul_digit_serial(1, 1, 0)
+    with pytest.raises(ValueError):
+        gf128_mul(1 << 128, 1)
+
+
+@given(elements)
+@settings(max_examples=20, deadline=None)
+def test_pow_square(a):
+    assert gf128_pow(a, 2) == gf128_mul(a, a)
+
+
+def test_pow_identity():
+    assert gf128_pow(R_POLY, 0) == ONE
+    assert gf128_pow(R_POLY, 1) == R_POLY

@@ -1,0 +1,62 @@
+"""GHASH: linearity, incremental API, hardware cycle accounting."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+import pytest
+
+from repro.crypto.ghash import GHash, ghash
+from repro.crypto.gf128 import gf128_mul
+from repro.errors import BlockSizeError
+
+blocks16 = st.binary(min_size=16, max_size=16)
+
+
+def test_single_block_is_multiplication(rb):
+    h, x = rb(16), rb(16)
+    expected = gf128_mul(
+        int.from_bytes(x, "big"), int.from_bytes(h, "big")
+    ).to_bytes(16, "big")
+    assert ghash(h, x) == expected
+
+
+@given(blocks16, blocks16, blocks16)
+@settings(max_examples=25, deadline=None)
+def test_chaining_definition(h, x1, x2):
+    g = GHash(h).update(x1).update(x2)
+    y1 = int.from_bytes(ghash(h, x1), "big")
+    manual = gf128_mul(y1 ^ int.from_bytes(x2, "big"), int.from_bytes(h, "big"))
+    assert g.digest() == manual.to_bytes(16, "big")
+
+
+def test_update_blocks_equals_updates(rb):
+    h = rb(16)
+    data = rb(80)
+    a = GHash(h).update_blocks(data)
+    b = GHash(h)
+    for i in range(0, 80, 16):
+        b.update(data[i : i + 16])
+    assert a.digest() == b.digest()
+
+
+def test_digit_serial_cycles(rb):
+    g = GHash(rb(16), digit_serial=True)
+    g.update_blocks(rb(64))
+    assert g.blocks == 4
+    assert g.cycles == 4 * 43
+
+
+def test_reset(rb):
+    h = rb(16)
+    g = GHash(h).update(rb(16))
+    g.reset()
+    assert g.digest() == bytes(16)
+    assert g.blocks == 0
+
+
+def test_block_size_enforced(rb):
+    with pytest.raises(BlockSizeError):
+        GHash(rb(15))
+    with pytest.raises(BlockSizeError):
+        GHash(rb(16)).update(rb(15))
+    with pytest.raises(BlockSizeError):
+        GHash(rb(16)).update_blocks(rb(17))

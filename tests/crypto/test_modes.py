@@ -1,0 +1,113 @@
+"""Block-cipher modes: vectors, round-trips, failure injection."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+import pytest
+
+from repro.crypto import AES, cbc_mac, ccm_decrypt, ccm_encrypt, gcm_decrypt, gcm_encrypt
+from repro.crypto.modes.ctr import ctr_xcrypt, increment_counter
+from repro.crypto.modes.gcm import gcm_j0, inc32
+from repro.crypto.modes.gmac import gmac, gmac_verify
+from repro.crypto.testvectors import ccm_vectors, ctr_vectors, gcm_vectors
+from repro.errors import AuthenticationFailure, NonceError, TagError
+
+
+@pytest.mark.parametrize("v", gcm_vectors(), ids=lambda v: f"gcm-{len(v.plaintext)}-{len(v.key)*8}")
+def test_gcm_vectors(v):
+    ct, tag = gcm_encrypt(v.key, v.iv, v.plaintext, v.aad)
+    assert (ct, tag) == (v.ciphertext, v.tag)
+    assert gcm_decrypt(v.key, v.iv, v.ciphertext, v.tag, v.aad) == v.plaintext
+
+
+@pytest.mark.parametrize("v", ccm_vectors(), ids=lambda v: f"ccm-{len(v.plaintext)}-{v.tag_length}")
+def test_ccm_vectors(v):
+    ct, tag = ccm_encrypt(v.key, v.nonce, v.plaintext, v.aad, v.tag_length)
+    assert (ct, tag) == (v.ciphertext, v.tag)
+    assert ccm_decrypt(v.key, v.nonce, v.ciphertext, v.tag, v.aad) == v.plaintext
+
+
+@pytest.mark.parametrize("v", ctr_vectors(), ids=lambda v: f"ctr-{len(v.plaintext)}")
+def test_ctr_vectors(v):
+    cipher = AES(v.key)
+    assert ctr_xcrypt(cipher, v.counter, v.plaintext) == v.ciphertext
+    assert ctr_xcrypt(cipher, v.counter, v.ciphertext) == v.plaintext
+
+
+@given(st.binary(max_size=200), st.binary(max_size=64))
+@settings(max_examples=25, deadline=None)
+def test_gcm_roundtrip_property(data, aad):
+    key, iv = bytes(16), bytes(12)
+    ct, tag = gcm_encrypt(key, iv, data, aad)
+    assert gcm_decrypt(key, iv, ct, tag, aad) == data
+
+
+@given(st.binary(max_size=200), st.binary(max_size=64))
+@settings(max_examples=25, deadline=None)
+def test_ccm_roundtrip_property(data, aad):
+    key, nonce = bytes(16), bytes(13)
+    ct, tag = ccm_encrypt(key, nonce, data, aad, 8)
+    assert ccm_decrypt(key, nonce, ct, tag, aad) == data
+
+
+def test_gcm_tamper_rejected(rb):
+    key, iv = rb(16), rb(12)
+    ct, tag = gcm_encrypt(key, iv, b"secret", b"hdr")
+    with pytest.raises(AuthenticationFailure):
+        gcm_decrypt(key, iv, ct, bytes(16), b"hdr")
+    with pytest.raises(AuthenticationFailure):
+        gcm_decrypt(key, iv, ct, tag, b"other header")
+
+
+def test_ccm_tamper_rejected(rb):
+    key, nonce = rb(16), rb(13)
+    ct, tag = ccm_encrypt(key, nonce, b"secret payload!!", b"hdr", 8)
+    bad = bytes([ct[0] ^ 1]) + ct[1:]
+    with pytest.raises(AuthenticationFailure):
+        ccm_decrypt(key, nonce, bad, tag, b"hdr")
+
+
+def test_cbc_mac_chaining(rb):
+    cipher = AES(rb(16))
+    m1, m2 = rb(16), rb(16)
+    mac = cbc_mac(cipher, m1 + m2)
+    # Manual chain: E(m2 ^ E(m1)).
+    step = cipher.encrypt_block(m1)
+    expected = cipher.encrypt_block(bytes(a ^ b for a, b in zip(step, m2)))
+    assert mac == expected
+
+
+def test_gmac_matches_gcm_empty(rb):
+    key, iv, aad = rb(16), rb(12), rb(50)
+    _, tag = gcm_encrypt(key, iv, b"", aad)
+    assert gmac(key, iv, aad) == tag
+    assert gmac_verify(key, iv, aad, tag)
+    assert not gmac_verify(key, iv, aad, bytes(16))
+
+
+def test_gcm_j0_long_iv(rb):
+    key = rb(16)
+    cipher = AES(key)
+    # Non-96-bit IVs route through GHASH; still decryptable.
+    iv = rb(20)
+    ct, tag = gcm_encrypt(key, iv, b"payload", b"")
+    assert gcm_decrypt(key, iv, ct, tag) == b"payload"
+    assert len(gcm_j0(cipher, iv)) == 16
+
+
+def test_inc32_and_inc16_wrap():
+    block = bytes(12) + b"\xff\xff\xff\xff"
+    assert inc32(block)[-4:] == bytes(4)
+    block16 = bytes(14) + b"\xff\xff"
+    assert increment_counter(block16, 16)[-2:] == b"\x00\x00"
+    assert increment_counter(block16, 16)[:14] == bytes(14)
+
+
+def test_parameter_validation(rb):
+    with pytest.raises(NonceError):
+        ccm_encrypt(rb(16), rb(6), b"x", b"")
+    with pytest.raises(TagError):
+        ccm_encrypt(rb(16), rb(13), b"x", b"", tag_length=5)
+    with pytest.raises(TagError):
+        gcm_encrypt(rb(16), rb(12), b"x", tag_length=3)
+    with pytest.raises(NonceError):
+        gcm_encrypt(rb(16), b"", b"x")

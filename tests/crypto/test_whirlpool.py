@@ -1,0 +1,54 @@
+"""Whirlpool: ISO vectors, incremental API, structural checks."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+import pytest
+
+from repro.crypto.whirlpool import SBOX, Whirlpool, compress, whirlpool
+from repro.crypto.testvectors import whirlpool_vectors
+
+
+@pytest.mark.parametrize("v", whirlpool_vectors(), ids=lambda v: repr(v.message[:12]))
+def test_iso_vectors(v):
+    assert whirlpool(v.message) == v.digest
+
+
+def test_sbox_is_permutation():
+    assert sorted(SBOX) == list(range(256))
+    # Spot-check the first published row.
+    assert SBOX[:4] == [0x18, 0x23, 0xC6, 0xE8]
+
+
+@given(st.binary(max_size=300))
+@settings(max_examples=25, deadline=None)
+def test_incremental_equals_oneshot(data):
+    h = Whirlpool()
+    for i in range(0, len(data), 7):
+        h.update(data[i : i + 7])
+    assert h.digest() == whirlpool(data)
+
+
+def test_digest_is_repeatable():
+    h = Whirlpool(b"abc")
+    assert h.digest() == h.digest()
+    h.update(b"d")
+    assert h.digest() == whirlpool(b"abcd")
+
+
+def test_block_boundary_lengths():
+    # 31/32/33 bytes straddle the single-vs-double padding block split.
+    for n in (0, 1, 31, 32, 33, 63, 64, 65, 127, 128):
+        data = bytes(range(256))[:n] * 1
+        assert whirlpool(data) == Whirlpool(data).digest()
+
+
+def test_compress_validates_sizes():
+    with pytest.raises(ValueError):
+        compress(bytes(63), bytes(64))
+    with pytest.raises(ValueError):
+        compress(bytes(64), bytes(65))
+
+
+def test_distinct_messages_distinct_digests():
+    assert whirlpool(b"a") != whirlpool(b"b")
+    assert whirlpool(b"") != whirlpool(b"\x00")

@@ -1,0 +1,118 @@
+"""FIFO: capacity, ordering, purge, events, hooks (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+import pytest
+
+from repro.errors import FifoError
+from repro.sim.fifo import WordFifo
+from repro.sim.kernel import Simulator
+
+
+def make(depth=8):
+    return WordFifo(Simulator(), depth_words=depth, name="t")
+
+
+def test_fifo_order_preserved():
+    f = make()
+    for i in range(5):
+        f.push_word(i)
+    assert [f.pop_word() for _ in range(5)] == list(range(5))
+
+
+def test_overflow_underflow():
+    f = make(depth=2)
+    f.push_word(1)
+    f.push_word(2)
+    with pytest.raises(FifoError):
+        f.push_word(3)
+    f.pop_word()
+    f.pop_word()
+    with pytest.raises(FifoError):
+        f.pop_word()
+
+
+def test_word_range_checked():
+    f = make()
+    with pytest.raises(FifoError):
+        f.push_word(1 << 32)
+
+
+def test_block_roundtrip(rb):
+    f = make(depth=8)
+    block = rb(16)
+    f.push_block(block)
+    assert f.blocks_available == 1
+    assert f.pop_block() == block
+
+
+def test_block_size_checked(rb):
+    f = make()
+    with pytest.raises(FifoError):
+        f.push_block(rb(15))
+
+
+def test_purge_clears_and_counts(rb):
+    f = make()
+    f.push_block(rb(16))
+    dropped = f.purge()
+    assert dropped == 4
+    assert len(f) == 0
+    assert f.purge_count == 1
+
+
+def test_statistics(rb):
+    f = make(depth=8)
+    f.push_block(rb(16))
+    f.pop_block()
+    assert f.total_pushed == 4
+    assert f.total_popped == 4
+    assert f.high_watermark == 4
+
+
+def test_wait_events():
+    sim = Simulator()
+    f = WordFifo(sim, 4, "w")
+    ev = f.wait_not_empty()
+    assert not ev.triggered
+    f.push_word(1)
+    assert ev.triggered
+    # Fill, then wait for space.
+    for i in range(3):
+        f.push_word(i)
+    full_ev = f.wait_not_full()
+    assert not full_ev.triggered
+    f.pop_word()
+    assert full_ev.triggered
+
+
+def test_push_pop_hooks_fire_once():
+    f = make()
+    hits = []
+    f.add_push_hook(lambda: hits.append("push"))
+    f.push_word(1)
+    f.push_word(2)
+    assert hits == ["push"]
+    f.add_pop_hook(lambda: hits.append("pop"))
+    f.pop_word()
+    f.pop_word()
+    assert hits == ["push", "pop"]
+
+
+@given(st.lists(st.integers(0, 0xFFFFFFFF), max_size=40))
+@settings(max_examples=30, deadline=None)
+def test_fifo_invariant_random_traffic(words):
+    """Pushed == popped + resident, order preserved, never negative."""
+    f = WordFifo(Simulator(), depth_words=16)
+    popped = []
+    for w in words:
+        if f.can_push():
+            f.push_word(w)
+        if len(f) > 8 and f.can_pop():
+            popped.append(f.pop_word())
+    popped += [f.pop_word() for _ in range(len(f))]
+    pushed_count = f.total_pushed
+    assert len(popped) == pushed_count
+    # Order: popped must be a prefix-order subsequence of pushed words.
+    expected = [w for w in words][:pushed_count]
+    assert popped == expected[: len(popped)]

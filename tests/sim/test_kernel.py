@@ -1,0 +1,139 @@
+"""Discrete-event kernel: ordering, processes, events, guards."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.kernel import Delay, Event, Simulator
+
+
+def test_callbacks_run_in_time_order():
+    sim = Simulator()
+    log = []
+    sim.call_at(10, lambda _: log.append(10))
+    sim.call_at(5, lambda _: log.append(5))
+    sim.call_at(5, lambda _: log.append("5b"))
+    sim.run()
+    assert log == [5, "5b", 10]
+    assert sim.now == 10
+
+
+def test_cannot_schedule_in_past():
+    sim = Simulator()
+    sim.call_at(10, lambda _: sim.call_at(3, lambda _2: None))
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_process_delay_and_return_value():
+    sim = Simulator()
+
+    def proc():
+        yield Delay(7)
+        yield Delay(3)
+        return "done"
+
+    p = sim.add_process(proc())
+    sim.run()
+    assert sim.now == 10
+    assert p.finished
+    assert p.done.value == "done"
+
+
+def test_process_waits_event():
+    sim = Simulator()
+    ev = sim.event("e")
+    log = []
+
+    def waiter():
+        value = yield ev
+        log.append((sim.now, value))
+
+    sim.add_process(waiter())
+    sim.call_at(42, lambda _: ev.trigger("ping"))
+    sim.run()
+    assert log == [(42, "ping")]
+
+
+def test_event_latches_for_late_waiters():
+    sim = Simulator()
+    ev = sim.event()
+    ev.trigger(5)
+    got = []
+
+    def late():
+        got.append((yield ev))
+
+    sim.add_process(late())
+    sim.run()
+    assert got == [5]
+
+
+def test_event_double_trigger_raises():
+    sim = Simulator()
+    ev = sim.event()
+    ev.trigger()
+    with pytest.raises(SimulationError):
+        ev.trigger()
+
+
+def test_negative_delay_rejected():
+    with pytest.raises(SimulationError):
+        Delay(-1)
+
+
+def test_invalid_yield_rejected():
+    sim = Simulator()
+
+    def proc():
+        yield 42
+
+    sim.add_process(proc())
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_run_until_limit():
+    sim = Simulator()
+
+    def forever():
+        while True:
+            yield Delay(10)
+
+    sim.add_process(forever())
+    sim.run(until=55)
+    assert sim.now == 55
+
+
+def test_run_until_event_deadlock_detected():
+    sim = Simulator()
+    ev = sim.event("never")
+    with pytest.raises(SimulationError):
+        sim.run_until_event(ev)
+
+
+def test_timeout_event():
+    sim = Simulator()
+    ev = sim.timeout(20, "late")
+    value = sim.run_until_event(ev)
+    assert value == "late"
+    assert sim.now == 20
+
+
+def test_delta_cycle_yield_none():
+    sim = Simulator()
+    order = []
+
+    def a():
+        order.append("a1")
+        yield None
+        order.append("a2")
+
+    def b():
+        order.append("b1")
+        yield None
+        order.append("b2")
+
+    sim.add_process(a())
+    sim.add_process(b())
+    sim.run()
+    assert order == ["a1", "b1", "a2", "b2"]

@@ -1,0 +1,118 @@
+"""Utility layer: bit/word conversions, byte ops, validation."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+import pytest
+
+from repro.utils import (
+    blocks_of,
+    bytes_to_int,
+    bytes_to_words32,
+    ceil_div,
+    check_length,
+    check_range,
+    check_type,
+    int_to_bytes,
+    pad_zeros,
+    rotl8,
+    rotl32,
+    rotr8,
+    split_blocks,
+    words32_to_bytes,
+    xor_bytes,
+)
+
+
+@given(st.binary(min_size=4, max_size=64).filter(lambda b: len(b) % 4 == 0))
+@settings(max_examples=50, deadline=None)
+def test_words_roundtrip(data):
+    assert words32_to_bytes(bytes_to_words32(data)) == data
+
+
+def test_words_reject_bad_sizes():
+    with pytest.raises(ValueError):
+        bytes_to_words32(bytes(3))
+    with pytest.raises(ValueError):
+        words32_to_bytes([1 << 32])
+
+
+@given(st.integers(min_value=0, max_value=(1 << 64) - 1))
+@settings(max_examples=50, deadline=None)
+def test_int_bytes_roundtrip(n):
+    assert bytes_to_int(int_to_bytes(n, 8)) == n
+
+
+def test_int_to_bytes_errors():
+    with pytest.raises(ValueError):
+        int_to_bytes(-1, 4)
+    with pytest.raises(OverflowError):
+        int_to_bytes(1 << 32, 4)
+
+
+@given(st.integers(0, 255), st.integers(0, 16))
+@settings(max_examples=50, deadline=None)
+def test_rot8_inverse(value, amount):
+    assert rotr8(rotl8(value, amount), amount) == value
+
+
+def test_rotl32():
+    assert rotl32(0x80000000, 1) == 1
+    assert rotl32(0x12345678, 0) == 0x12345678
+    assert rotl32(0x12345678, 32) == 0x12345678
+
+
+@given(st.binary(max_size=64), st.binary(max_size=64))
+@settings(max_examples=50, deadline=None)
+def test_xor_properties(a, b):
+    n = min(len(a), len(b))
+    a, b = a[:n], b[:n]
+    assert xor_bytes(a, b) == xor_bytes(b, a)
+    assert xor_bytes(xor_bytes(a, b), b) == a
+
+
+def test_xor_length_mismatch():
+    with pytest.raises(ValueError):
+        xor_bytes(b"ab", b"a")
+
+
+def test_ceil_div():
+    assert ceil_div(0, 16) == 0
+    assert ceil_div(1, 16) == 1
+    assert ceil_div(16, 16) == 1
+    assert ceil_div(17, 16) == 2
+    with pytest.raises(ValueError):
+        ceil_div(1, 0)
+
+
+@given(st.binary(max_size=100))
+@settings(max_examples=50, deadline=None)
+def test_pad_zeros(data):
+    padded = pad_zeros(data)
+    assert len(padded) % 16 == 0
+    assert padded[: len(data)] == data
+    assert set(padded[len(data):]) <= {0}
+    if len(data) % 16 == 0:
+        assert padded == data
+
+
+def test_split_and_blocks_of():
+    data = bytes(range(40))
+    parts = split_blocks(data)
+    assert parts == list(blocks_of(data))
+    assert len(parts) == 3
+    assert len(parts[-1]) == 8
+    assert b"".join(parts) == data
+
+
+def test_validation_helpers():
+    check_type("x", 3, int)
+    with pytest.raises(TypeError):
+        check_type("x", 3, (bytes, str))
+    check_length("d", bytes(16), allowed=(16,))
+    with pytest.raises(ValueError):
+        check_length("d", bytes(15), allowed=(16,))
+    with pytest.raises(ValueError):
+        check_length("d", bytes(15), multiple_of=4)
+    check_range("n", 5, 0, 10)
+    with pytest.raises(ValueError):
+        check_range("n", 11, 0, 10)
