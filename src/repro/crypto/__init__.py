@@ -18,8 +18,22 @@ against the embedded NIST/ISO test vectors in
 """
 
 from repro.crypto.aes import AES, aes_encrypt_block, expand_key
+# (The live switch state is read through fast_enabled() — re-exporting
+# the FAST_ENABLED constant would snapshot it at import time and go
+# stale the moment set_fast() rebinds it.)
+from repro.crypto.fast import (
+    ccm_open,
+    ccm_seal,
+    ctr_stream,
+    expand_key_cached,
+    fast_enabled,
+    gcm_open,
+    gcm_seal,
+    gf128_mul_tabulated,
+    set_fast,
+)
 from repro.crypto.ghash import GHash, ghash
-from repro.crypto.gf128 import gf128_mul, gf128_mul_digit_serial
+from repro.crypto.gf128 import gf128_mul, gf128_mul_digit_serial, gf128_pow
 from repro.crypto.whirlpool import Whirlpool, whirlpool
 from repro.crypto.modes import (
     cbc_mac,
@@ -36,18 +50,28 @@ __all__ = [
     "AES",
     "aes_encrypt_block",
     "expand_key",
+    "expand_key_cached",
+    "fast_enabled",
+    "set_fast",
     "GHash",
     "ghash",
     "gf128_mul",
     "gf128_mul_digit_serial",
+    "gf128_mul_tabulated",
+    "gf128_pow",
     "Whirlpool",
     "whirlpool",
     "cbc_mac",
     "ccm_decrypt",
     "ccm_encrypt",
+    "ccm_seal",
+    "ccm_open",
     "ctr_keystream",
+    "ctr_stream",
     "ctr_xcrypt",
     "gcm_decrypt",
     "gcm_encrypt",
+    "gcm_seal",
+    "gcm_open",
     "gmac",
 ]

@@ -182,18 +182,28 @@ def decrypt_block_with_schedule(block: bytes, round_keys: Sequence[Sequence[int]
     return _bytes_from_state(state)
 
 
-def aes_encrypt_block(key: bytes, block: bytes) -> bytes:
-    """One-shot single-block encryption (expands the key each call)."""
-    return encrypt_block_with_schedule(block, expand_key(key))
+def aes_encrypt_block(key: bytes, block: bytes, use_fast: "bool | None" = None) -> bytes:
+    """One-shot single-block encryption (memoized expansion on the fast path)."""
+    from repro.crypto.fast import encrypt_block_dispatch, expand_key_dispatch, fast_enabled
+
+    fast = fast_enabled(use_fast)
+    return encrypt_block_dispatch(block, expand_key_dispatch(key, fast), fast)
 
 
 class AES:
     """AES cipher object holding an expanded key schedule.
 
+    By default the object rides the fast T-table engine
+    (:mod:`repro.crypto.fast`) with an LRU-memoized key expansion;
+    ``use_fast=False`` (or ``REPRO_FAST=0`` in the environment) pins it
+    to the readable reference rounds.  Both paths are byte-identical.
+
     Parameters
     ----------
     key:
         16-, 24- or 32-byte secret key.
+    use_fast:
+        Tri-state fast-path override (None = follow the global switch).
 
     Examples
     --------
@@ -201,8 +211,16 @@ class AES:
     '66e94bd4ef8a2c3b884cfa59ca342b2e'
     """
 
-    def __init__(self, key: bytes):
-        self._round_keys = expand_key(bytes(key))
+    def __init__(self, key: bytes, use_fast: "bool | None" = None):
+        from repro.crypto.fast import expand_key_dispatch, fast_enabled
+        from repro.crypto.fast.aes_ttable import encrypt_block_tt
+
+        key = bytes(key)
+        self._use_fast = fast_enabled(use_fast)
+        self._round_keys = expand_key_dispatch(key, self._use_fast)
+        self._encrypt = (
+            encrypt_block_tt if self._use_fast else encrypt_block_with_schedule
+        )
         self.key_bits = len(key) * 8
         self.rounds = len(self._round_keys) - 1
 
@@ -211,9 +229,14 @@ class AES:
         """The expanded schedule (list of rounds, each 4x 32-bit words)."""
         return [list(rk) for rk in self._round_keys]
 
+    @property
+    def schedule(self) -> Sequence[Sequence[int]]:
+        """The internal schedule, uncopied (for the bulk fast engine)."""
+        return self._round_keys
+
     def encrypt_block(self, block: bytes) -> bytes:
         """Encrypt a single 16-byte block."""
-        return encrypt_block_with_schedule(block, self._round_keys)
+        return self._encrypt(block, self._round_keys)
 
     def decrypt_block(self, block: bytes) -> bytes:
         """Decrypt a single 16-byte block (reference-model only)."""

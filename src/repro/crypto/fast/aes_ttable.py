@@ -1,0 +1,102 @@
+"""T-table AES (Chodowiec & Gaj lineage).
+
+The classic software formulation of the AES round: SubBytes, ShiftRows
+and MixColumns collapse into four 256-entry tables of 32-bit words, so
+one round over the whole state is sixteen table lookups and sixteen
+XORs on four column words — no per-byte state list, no row shuffling.
+The tables are generated once at import from the same algebraic
+``SBOX``/``MUL2``/``MUL3`` tables the reference implementation uses, so
+there is exactly one source of truth for the field arithmetic.
+
+``expand_key_cached`` wraps the FIPS-197 expansion in an LRU memo: the
+MCCP pre-computes round keys into per-core key caches precisely because
+traffic re-uses session keys packet after packet, and the software fast
+path mirrors that (the batfish-style "precompute once per key" pattern).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import List, Sequence, Tuple
+
+from repro.crypto.aes_tables import MUL2, MUL3, SBOX
+from repro.errors import BlockSizeError
+
+BLOCK_BYTES = 16
+
+#: Encryption T-tables: TE0[x] packs the MixColumns column of SBOX[x]
+#: for byte position 0; TE1..TE3 are byte rotations for positions 1..3.
+TE0: List[int] = [0] * 256
+TE1: List[int] = [0] * 256
+TE2: List[int] = [0] * 256
+TE3: List[int] = [0] * 256
+
+for _x in range(256):
+    _s = SBOX[_x]
+    _t = (MUL2[_s] << 24) | (_s << 16) | (_s << 8) | MUL3[_s]
+    TE0[_x] = _t
+    TE1[_x] = ((_t >> 8) | (_t << 24)) & 0xFFFFFFFF
+    TE2[_x] = ((_t >> 16) | (_t << 16)) & 0xFFFFFFFF
+    TE3[_x] = ((_t >> 24) | (_t << 8)) & 0xFFFFFFFF
+del _x, _s, _t
+
+
+@lru_cache(maxsize=256)
+def expand_key_cached(key: bytes) -> Tuple[Tuple[int, ...], ...]:
+    """FIPS-197 key expansion, memoized per key.
+
+    Returns the schedule as an immutable tuple of ``(rounds + 1)``
+    4-word tuples — the same layout as :func:`repro.crypto.aes.expand_key`
+    but safe to share between every cipher object holding the key.
+    """
+    from repro.crypto.aes import expand_key
+
+    return tuple(tuple(rk) for rk in expand_key(key))
+
+
+def encrypt_words_tt(
+    w0: int, w1: int, w2: int, w3: int, round_keys: Sequence[Sequence[int]]
+) -> Tuple[int, int, int, int]:
+    """Encrypt one block given as four 32-bit column words.
+
+    This is the innermost software kernel; callers that already hold the
+    state as words (the bulk counter engine) skip all byte conversion.
+    """
+    rounds = len(round_keys) - 1
+    rk = round_keys[0]
+    w0 ^= rk[0]
+    w1 ^= rk[1]
+    w2 ^= rk[2]
+    w3 ^= rk[3]
+    t0, t1, t2, t3 = TE0, TE1, TE2, TE3
+    for r in range(1, rounds):
+        rk = round_keys[r]
+        n0 = t0[w0 >> 24] ^ t1[(w1 >> 16) & 255] ^ t2[(w2 >> 8) & 255] ^ t3[w3 & 255] ^ rk[0]
+        n1 = t0[w1 >> 24] ^ t1[(w2 >> 16) & 255] ^ t2[(w3 >> 8) & 255] ^ t3[w0 & 255] ^ rk[1]
+        n2 = t0[w2 >> 24] ^ t1[(w3 >> 16) & 255] ^ t2[(w0 >> 8) & 255] ^ t3[w1 & 255] ^ rk[2]
+        n3 = t0[w3 >> 24] ^ t1[(w0 >> 16) & 255] ^ t2[(w1 >> 8) & 255] ^ t3[w2 & 255] ^ rk[3]
+        w0, w1, w2, w3 = n0, n1, n2, n3
+    rk = round_keys[rounds]
+    sb = SBOX
+    return (
+        ((sb[w0 >> 24] << 24) | (sb[(w1 >> 16) & 255] << 16) | (sb[(w2 >> 8) & 255] << 8) | sb[w3 & 255]) ^ rk[0],
+        ((sb[w1 >> 24] << 24) | (sb[(w2 >> 16) & 255] << 16) | (sb[(w3 >> 8) & 255] << 8) | sb[w0 & 255]) ^ rk[1],
+        ((sb[w2 >> 24] << 24) | (sb[(w3 >> 16) & 255] << 16) | (sb[(w0 >> 8) & 255] << 8) | sb[w1 & 255]) ^ rk[2],
+        ((sb[w3 >> 24] << 24) | (sb[(w0 >> 16) & 255] << 16) | (sb[(w1 >> 8) & 255] << 8) | sb[w2 & 255]) ^ rk[3],
+    )
+
+
+def encrypt_block_tt(block: bytes, round_keys: Sequence[Sequence[int]]) -> bytes:
+    """T-table encryption of one 16-byte block (byte-identical to the
+    reference :func:`repro.crypto.aes.encrypt_block_with_schedule`)."""
+    if len(block) != BLOCK_BYTES:
+        raise BlockSizeError(f"AES block must be 16 bytes, got {len(block)}")
+    c = int.from_bytes(block, "big")
+    o0, o1, o2, o3 = encrypt_words_tt(
+        (c >> 96) & 0xFFFFFFFF,
+        (c >> 64) & 0xFFFFFFFF,
+        (c >> 32) & 0xFFFFFFFF,
+        c & 0xFFFFFFFF,
+        round_keys,
+    )
+    return ((o0 << 96) | (o1 << 64) | (o2 << 32) | o3).to_bytes(16, "big")

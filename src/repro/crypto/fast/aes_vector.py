@@ -1,0 +1,123 @@
+"""Vectorised bulk counter-mode AES (numpy-gated).
+
+Counter-mode keystream blocks are mutually independent, so the whole
+message can be encrypted as one batched sweep: the T-table round runs
+over numpy ``uint32`` arrays holding one column word per block, and each
+table lookup becomes a single gather across every block of the packet.
+This is the software analogue of the paper's observation that CTR-style
+modes parallelise freely while feedback modes do not (section II.B) —
+here the "parallel cores" are SIMD lanes instead of FPGA slices.
+
+numpy is optional: :data:`HAVE_NUMPY` gates the path and the bulk APIs
+in :mod:`repro.crypto.fast.bulk` fall back to the scalar T-table loop,
+so the package never *requires* the dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+try:  # pragma: no cover - exercised implicitly by every import
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is present in CI
+    _np = None
+
+HAVE_NUMPY = _np is not None
+
+#: Below this many blocks the scalar loop wins (array setup dominates).
+MIN_VECTOR_BLOCKS = 4
+
+if HAVE_NUMPY:
+    from repro.crypto.aes_tables import SBOX
+    from repro.crypto.fast.aes_ttable import TE0, TE1, TE2, TE3
+
+    _TE0 = _np.array(TE0, dtype=_np.uint32)
+    _TE1 = _np.array(TE1, dtype=_np.uint32)
+    _TE2 = _np.array(TE2, dtype=_np.uint32)
+    _TE3 = _np.array(TE3, dtype=_np.uint32)
+    _SBOX = _np.array(SBOX, dtype=_np.uint32)
+
+
+def _encrypt_words_vector(w0, w1, w2, w3, round_keys: Sequence[Sequence[int]]) -> bytes:
+    """Encrypt a batch of blocks held as four uint32 word arrays."""
+    rounds = len(round_keys) - 1
+    rk = round_keys[0]
+    w0 = w0 ^ _np.uint32(rk[0])
+    w1 = w1 ^ _np.uint32(rk[1])
+    w2 = w2 ^ _np.uint32(rk[2])
+    w3 = w3 ^ _np.uint32(rk[3])
+    for r in range(1, rounds):
+        rk = round_keys[r]
+        n0 = _TE0[w0 >> 24] ^ _TE1[(w1 >> 16) & 255] ^ _TE2[(w2 >> 8) & 255] ^ _TE3[w3 & 255] ^ _np.uint32(rk[0])
+        n1 = _TE0[w1 >> 24] ^ _TE1[(w2 >> 16) & 255] ^ _TE2[(w3 >> 8) & 255] ^ _TE3[w0 & 255] ^ _np.uint32(rk[1])
+        n2 = _TE0[w2 >> 24] ^ _TE1[(w3 >> 16) & 255] ^ _TE2[(w0 >> 8) & 255] ^ _TE3[w1 & 255] ^ _np.uint32(rk[2])
+        n3 = _TE0[w3 >> 24] ^ _TE1[(w0 >> 16) & 255] ^ _TE2[(w1 >> 8) & 255] ^ _TE3[w2 & 255] ^ _np.uint32(rk[3])
+        w0, w1, w2, w3 = n0, n1, n2, n3
+    rk = round_keys[rounds]
+    sb = _SBOX
+    o0 = ((sb[w0 >> 24] << 24) | (sb[(w1 >> 16) & 255] << 16) | (sb[(w2 >> 8) & 255] << 8) | sb[w3 & 255]) ^ _np.uint32(rk[0])
+    o1 = ((sb[w1 >> 24] << 24) | (sb[(w2 >> 16) & 255] << 16) | (sb[(w3 >> 8) & 255] << 8) | sb[w0 & 255]) ^ _np.uint32(rk[1])
+    o2 = ((sb[w2 >> 24] << 24) | (sb[(w3 >> 16) & 255] << 16) | (sb[(w0 >> 8) & 255] << 8) | sb[w1 & 255]) ^ _np.uint32(rk[2])
+    o3 = ((sb[w3 >> 24] << 24) | (sb[(w0 >> 16) & 255] << 16) | (sb[(w1 >> 8) & 255] << 8) | sb[w2 & 255]) ^ _np.uint32(rk[3])
+    out = _np.empty((len(o0), 4), dtype=">u4")
+    out[:, 0] = o0
+    out[:, 1] = o1
+    out[:, 2] = o2
+    out[:, 3] = o3
+    return out.tobytes()
+
+
+def ctr_keystream_vector(
+    round_keys: Sequence[Sequence[int]],
+    initial_counter: int,
+    nblocks: int,
+    inc_bits: int,
+) -> Optional[bytes]:
+    """Keystream for *nblocks* counters starting at *initial_counter*.
+
+    The counter's low *inc_bits* bits increment by one per block,
+    wrapping modulo ``2**inc_bits`` (matching
+    :func:`repro.crypto.modes.ctr.increment_counter` and GCM's inc32).
+    Returns ``None`` when the batch shape is outside what this engine
+    vectorises (no numpy, tiny batches, or an increment field wider
+    than 64 bits) — the caller falls back to the scalar loop.
+    """
+    if not HAVE_NUMPY or nblocks < MIN_VECTOR_BLOCKS or not 0 < inc_bits <= 64:
+        return None
+    c0 = initial_counter
+    low0 = c0 & ((1 << inc_bits) - 1)
+    hi = c0 >> inc_bits << inc_bits
+    lows = low0 + _np.arange(nblocks, dtype=_np.uint64)
+    if inc_bits < 64:
+        lows &= _np.uint64((1 << inc_bits) - 1)
+    # (uint64 addition already wraps mod 2^64 for inc_bits == 64.)
+    w0 = _np.full(nblocks, (hi >> 96) & 0xFFFFFFFF, dtype=_np.uint32)
+    w1 = _np.full(nblocks, (hi >> 64) & 0xFFFFFFFF, dtype=_np.uint32)
+    if inc_bits <= 32:
+        w2 = _np.full(nblocks, (hi >> 32) & 0xFFFFFFFF, dtype=_np.uint32)
+        w3 = _np.uint32(hi & 0xFFFFFFFF) | lows.astype(_np.uint32)
+    else:
+        w2 = _np.uint32((hi >> 32) & 0xFFFFFFFF) | (lows >> _np.uint64(32)).astype(_np.uint32)
+        w3 = lows.astype(_np.uint32)
+    return _encrypt_words_vector(w0, w1, w2, w3, round_keys)
+
+
+def encrypt_blocks_vector(
+    blocks: bytes, round_keys: Sequence[Sequence[int]]
+) -> Optional[bytes]:
+    """ECB-encrypt a whole number of 16-byte *blocks* in one sweep.
+
+    Used by the CCM counter path when the counter blocks are already
+    materialised.  Returns ``None`` when vectorisation does not apply.
+    """
+    nblocks = len(blocks) // 16
+    if not HAVE_NUMPY or nblocks < MIN_VECTOR_BLOCKS:
+        return None
+    words = _np.frombuffer(blocks, dtype=">u4").reshape(nblocks, 4)
+    return _encrypt_words_vector(
+        words[:, 0].astype(_np.uint32),
+        words[:, 1].astype(_np.uint32),
+        words[:, 2].astype(_np.uint32),
+        words[:, 3].astype(_np.uint32),
+        round_keys,
+    )

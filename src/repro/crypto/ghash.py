@@ -11,6 +11,8 @@ cycles), ``FGFM`` reads the accumulator out.
 from __future__ import annotations
 
 from repro.errors import BlockSizeError
+from repro.crypto.fast import fast_enabled
+from repro.crypto.fast.gf128_tables import ghash_blocks_tabulated
 from repro.crypto.gf128 import HW_DIGIT_BITS, gf128_mul, gf128_mul_digit_serial
 
 BLOCK_BYTES = 16
@@ -19,6 +21,11 @@ BLOCK_BYTES = 16
 class GHash:
     """Incremental GHASH mirroring the hardware core's LOADH/SGFM/FGFM.
 
+    The functional math rides the tabulated Shoup multiplier
+    (:mod:`repro.crypto.fast.gf128_tables`) unless the fast engine is
+    switched off; the digit-serial path — the hardware *cycle model* —
+    always runs the stepped multiplier so :attr:`cycles` stays faithful.
+
     Parameters
     ----------
     h:
@@ -26,14 +33,17 @@ class GHash:
     digit_serial:
         When true, each absorbed block uses the digit-serial multiplier
         and :attr:`cycles` accumulates the hardware cycle count.
+    use_fast:
+        Tri-state fast-path override (None = follow the global switch).
     """
 
-    def __init__(self, h: bytes, digit_serial: bool = False):
+    def __init__(self, h: bytes, digit_serial: bool = False, use_fast: "bool | None" = None):
         if len(h) != BLOCK_BYTES:
             raise BlockSizeError(f"GHASH subkey must be 16 bytes, got {len(h)}")
         self._h = int.from_bytes(h, "big")
         self._acc = 0
         self._digit_serial = digit_serial
+        self._use_fast = (not digit_serial) and fast_enabled(use_fast)
         #: Total hardware multiplier cycles consumed so far.
         self.cycles = 0
         #: Number of blocks absorbed.
@@ -45,11 +55,14 @@ class GHash:
             raise BlockSizeError(
                 f"GHASH blocks must be 16 bytes, got {len(block)}"
             )
-        x = self._acc ^ int.from_bytes(block, "big")
         if self._digit_serial:
+            x = self._acc ^ int.from_bytes(block, "big")
             self._acc, steps = gf128_mul_digit_serial(x, self._h, HW_DIGIT_BITS)
             self.cycles += steps
+        elif self._use_fast:
+            self._acc = ghash_blocks_tabulated(self._h, self._acc, block)
         else:
+            x = self._acc ^ int.from_bytes(block, "big")
             self._acc = gf128_mul(x, self._h)
         self.blocks += 1
         return self
@@ -60,6 +73,10 @@ class GHash:
             raise BlockSizeError(
                 f"data length {len(data)} is not a multiple of 16"
             )
+        if self._use_fast:
+            self._acc = ghash_blocks_tabulated(self._h, self._acc, data)
+            self.blocks += len(data) // BLOCK_BYTES
+            return self
         for i in range(0, len(data), BLOCK_BYTES):
             self.update(data[i : i + BLOCK_BYTES])
         return self

@@ -13,6 +13,8 @@ from __future__ import annotations
 from typing import Tuple
 
 from repro.crypto.aes import AES
+from repro.crypto.fast import bulk as fast_bulk
+from repro.crypto.fast import fast_enabled
 from repro.crypto.ghash import GHash
 from repro.errors import AuthenticationFailure, NonceError, TagError
 from repro.utils.bytesops import pad_zeros, xor_bytes
@@ -29,7 +31,7 @@ def inc32(block: bytes, by: int = 1) -> bytes:
     return block[:12] + low.to_bytes(4, "big")
 
 
-def gcm_j0(cipher: AES, iv: bytes) -> bytes:
+def gcm_j0(cipher: AES, iv: bytes, use_fast: "bool | None" = None) -> bytes:
     """Derive the pre-counter block ``J_0`` from the IV.
 
     The 96-bit IV fast path appends ``0^31 || 1``; other IV lengths run
@@ -40,7 +42,7 @@ def gcm_j0(cipher: AES, iv: bytes) -> bytes:
     if len(iv) == 12:
         return iv + b"\x00\x00\x00\x01"
     h = cipher.encrypt_block(b"\x00" * BLOCK_BYTES)
-    g = GHash(h)
+    g = GHash(h, use_fast=use_fast)
     g.update_blocks(pad_zeros(iv, BLOCK_BYTES))
     g.update((0).to_bytes(8, "big") + (8 * len(iv)).to_bytes(8, "big"))
     return g.digest()
@@ -66,9 +68,15 @@ def _gctr(cipher: AES, icb: bytes, data: bytes) -> bytes:
 
 
 def _ghash_tag(
-    cipher: AES, h: bytes, j0: bytes, aad: bytes, ciphertext: bytes, tag_length: int
+    cipher: AES,
+    h: bytes,
+    j0: bytes,
+    aad: bytes,
+    ciphertext: bytes,
+    tag_length: int,
+    use_fast: "bool | None" = None,
 ) -> bytes:
-    g = GHash(h)
+    g = GHash(h, use_fast=use_fast)
     if aad:
         g.update_blocks(pad_zeros(aad, BLOCK_BYTES))
     if ciphertext:
@@ -84,17 +92,25 @@ def gcm_encrypt(
     plaintext: bytes,
     aad: bytes = b"",
     tag_length: int = 16,
+    use_fast: "bool | None" = None,
 ) -> Tuple[bytes, bytes]:
-    """GCM authenticated encryption; returns ``(ciphertext, tag)``."""
+    """GCM authenticated encryption; returns ``(ciphertext, tag)``.
+
+    Routes through the bulk fast engine
+    (:func:`repro.crypto.fast.bulk.gcm_seal`) unless the fast path is
+    switched off, in which case the block-at-a-time reference runs.
+    """
     if tag_length not in VALID_TAG_LENGTHS:
         raise TagError(
             f"GCM tag length must be one of {VALID_TAG_LENGTHS}, got {tag_length}"
         )
-    cipher = AES(key)
+    if fast_enabled(use_fast):
+        return fast_bulk.gcm_seal(key, iv, plaintext, aad, tag_length)
+    cipher = AES(key, use_fast=False)
     h = cipher.encrypt_block(b"\x00" * BLOCK_BYTES)
-    j0 = gcm_j0(cipher, iv)
+    j0 = gcm_j0(cipher, iv, use_fast=False)
     ciphertext = _gctr(cipher, inc32(j0), plaintext)
-    tag = _ghash_tag(cipher, h, j0, aad, ciphertext, tag_length)
+    tag = _ghash_tag(cipher, h, j0, aad, ciphertext, tag_length, use_fast=False)
     return ciphertext, tag
 
 
@@ -104,6 +120,7 @@ def gcm_decrypt(
     ciphertext: bytes,
     tag: bytes,
     aad: bytes = b"",
+    use_fast: "bool | None" = None,
 ) -> bytes:
     """GCM authenticated decryption.
 
@@ -114,10 +131,12 @@ def gcm_decrypt(
     """
     if len(tag) not in VALID_TAG_LENGTHS:
         raise TagError(f"GCM tag length {len(tag)} is invalid")
-    cipher = AES(key)
+    if fast_enabled(use_fast):
+        return fast_bulk.gcm_open(key, iv, ciphertext, tag, aad)
+    cipher = AES(key, use_fast=False)
     h = cipher.encrypt_block(b"\x00" * BLOCK_BYTES)
-    j0 = gcm_j0(cipher, iv)
-    expected = _ghash_tag(cipher, h, j0, aad, ciphertext, len(tag))
+    j0 = gcm_j0(cipher, iv, use_fast=False)
+    expected = _ghash_tag(cipher, h, j0, aad, ciphertext, len(tag), use_fast=False)
     if expected != tag:
         raise AuthenticationFailure("GCM tag verification failed")
     return _gctr(cipher, inc32(j0), ciphertext)

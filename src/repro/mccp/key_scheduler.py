@@ -16,7 +16,11 @@ from __future__ import annotations
 from typing import Dict, Tuple
 
 from repro.core.key_cache import KeyCache
-from repro.crypto.aes import ROUNDS_BY_KEY_BYTES, expand_key
+from repro.crypto.aes import ROUNDS_BY_KEY_BYTES
+# Dispatched expansion: LRU-memoized T-table-engine schedule when the
+# fast path is on, plain FIPS-197 reference otherwise.  The *charged*
+# cycles are unaffected — only the host-side computation is memoized.
+from repro.crypto.fast import expand_key_dispatch as expand_key
 from repro.mccp.key_memory import KeyMemory
 from repro.sim.kernel import Delay, Event, Simulator
 from repro.unit.timing import TimingModel

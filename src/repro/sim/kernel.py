@@ -23,22 +23,44 @@ program produces one reproducible schedule.
 
 from __future__ import annotations
 
-import heapq
-from dataclasses import dataclass, field
+from heapq import heappop, heappush
 from typing import Any, Callable, Generator, List, Optional
 
 from repro.errors import SimulationError
 
 
-@dataclass(frozen=True)
 class Delay:
-    """Yielded by a process to sleep for *cycles* (must be >= 0)."""
+    """Yielded by a process to sleep for *cycles* (must be >= 0).
 
-    cycles: int
+    A ``__slots__`` object rather than a frozen dataclass: models
+    construct one per process step, so construction cost is part of the
+    kernel's per-event overhead.  ``cycles`` stays read-only (the
+    scheduler's Delay fast path relies on construction-time validation,
+    so a mutable field could smuggle a negative delay past it).
+    """
 
-    def __post_init__(self) -> None:
-        if self.cycles < 0:
-            raise SimulationError(f"negative delay: {self.cycles}")
+    __slots__ = ("_cycles",)
+
+    def __init__(self, cycles: int):
+        if cycles < 0:
+            raise SimulationError(f"negative delay: {cycles}")
+        object.__setattr__(self, "_cycles", cycles)
+
+    @property
+    def cycles(self) -> int:
+        return self._cycles
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError("Delay is immutable")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Delay({self._cycles})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Delay) and other._cycles == self._cycles
+
+    def __hash__(self) -> int:
+        return hash((Delay, self._cycles))
 
 
 class Event:
@@ -117,12 +139,22 @@ class Process:
             self._finished = True
             self.done.trigger(stop.value)
             return
-        if isinstance(yielded, Delay):
-            self.sim.call_at(self.sim.now + yielded.cycles, self._step, None)
-        elif isinstance(yielded, Event):
+        cls = yielded.__class__
+        if cls is Delay:
+            # Fast path for the dominant yield: Delay validated its own
+            # cycles >= 0, so the scheduled time can never be in the
+            # past and the entry is pushed without call_at's guard.
+            sim = self.sim
+            entry = _Entry(sim.now + yielded._cycles, sim._seq, self._step, None)
+            sim._seq += 1
+            sim._pending += 1
+            heappush(sim._queue, entry)
+        elif cls is Event or isinstance(yielded, Event):
             yielded.add_waiter(self._step)
         elif yielded is None:
             self.sim.call_soon(self._step, None)
+        elif isinstance(yielded, Delay):  # pragma: no cover - Delay subclass
+            self.sim.call_at(self.sim.now + yielded.cycles, self._step, None)
         else:
             raise SimulationError(
                 f"process {self.name!r} yielded {yielded!r}; expected "
@@ -130,13 +162,25 @@ class Process:
             )
 
 
-@dataclass(order=True)
 class _Entry:
-    time: int
-    seq: int
-    callback: Callable = field(compare=False)
-    argument: Any = field(compare=False)
-    cancelled: bool = field(compare=False, default=False)
+    """A heap record: ``__slots__`` + a hand-written ``__lt__`` is both
+    lighter to allocate and faster to sift than the dataclass it
+    replaced (dataclass ``order=True`` compares via tuple building)."""
+
+    __slots__ = ("time", "seq", "callback", "argument", "cancelled", "consumed")
+
+    def __init__(self, time: int, seq: int, callback: Callable, argument: Any):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.argument = argument
+        self.cancelled = False
+        self.consumed = False
+
+    def __lt__(self, other: "_Entry") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
 
 
 class Simulator:
@@ -160,6 +204,9 @@ class Simulator:
         self._queue: List[_Entry] = []
         self._seq = 0
         self._running = False
+        #: Live count of queued, non-cancelled callbacks (kept exact on
+        #: every push/pop/cancel so :attr:`pending_events` is O(1)).
+        self._pending = 0
 
     # -- scheduling primitives -------------------------------------------
 
@@ -171,8 +218,23 @@ class Simulator:
             )
         entry = _Entry(time, self._seq, callback, argument)
         self._seq += 1
-        heapq.heappush(self._queue, entry)
+        self._pending += 1
+        heappush(self._queue, entry)
         return entry
+
+    def cancel(self, entry: _Entry) -> bool:
+        """Cancel a scheduled entry; returns whether it was still live.
+
+        The entry stays in the heap (lazy deletion) but is skipped by
+        the run loop; the pending counter drops immediately.  Cancelling
+        an entry that already executed (or was cancelled before) is a
+        no-op returning False — the counter only moves for live entries.
+        """
+        if entry.cancelled or entry.consumed:
+            return False
+        entry.cancelled = True
+        self._pending -= 1
+        return True
 
     def call_later(self, delay: int, callback: Callable, argument: Any = None) -> _Entry:
         """Schedule ``callback(argument)`` *delay* cycles from now."""
@@ -212,16 +274,20 @@ class Simulator:
             raise SimulationError("simulator is already running (re-entrant run)")
         self._running = True
         processed = 0
+        queue = self._queue
+        pop = heappop
         try:
-            while self._queue:
-                entry = self._queue[0]
+            while queue:
+                entry = queue[0]
                 if entry.cancelled:
-                    heapq.heappop(self._queue)
+                    pop(queue)
                     continue
                 if until is not None and entry.time > until:
                     self.now = until
                     return
-                heapq.heappop(self._queue)
+                pop(queue)
+                entry.consumed = True
+                self._pending -= 1
                 self.now = entry.time
                 entry.callback(entry.argument)
                 processed += 1
@@ -240,8 +306,9 @@ class Simulator:
         Raises :class:`SimulationError` if the queue drains (deadlock)
         or the cycle *limit* passes without the event firing.
         """
+        queue = self._queue
         while not event.triggered:
-            if not self._queue:
+            if not queue:
                 raise SimulationError(
                     f"deadlock: queue drained at cycle {self.now} while "
                     f"waiting for {event.name!r}"
@@ -250,14 +317,17 @@ class Simulator:
                 raise SimulationError(
                     f"cycle limit {limit} exceeded waiting for {event.name!r}"
                 )
-            entry = heapq.heappop(self._queue)
+            entry = heappop(queue)
             if entry.cancelled:
                 continue
+            entry.consumed = True
+            self._pending -= 1
             self.now = entry.time
             entry.callback(entry.argument)
         return event.value
 
     @property
     def pending_events(self) -> int:
-        """Number of queued (non-cancelled) callbacks."""
-        return sum(1 for e in self._queue if not e.cancelled)
+        """Number of queued (non-cancelled) callbacks (O(1): a live
+        counter maintained on push/pop/cancel, not a heap scan)."""
+        return self._pending

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from repro.crypto.aes import encrypt_block_with_schedule
+from repro.crypto.fast import encrypt_block_dispatch
 from repro.errors import UnitError
 from repro.unit.timing import TimingModel
 
@@ -41,7 +41,9 @@ class AesCore:
             )
         key_bits = 32 * (len(round_keys) - 1 - 6)  # 10->128, 12->192, 14->256
         busy = self.timing.aes_busy(key_bits)
-        self._result = encrypt_block_with_schedule(bytes(block), round_keys)
+        # Functional result only — the cycle model above is untouched by
+        # whether the fast T-table engine or the reference rounds run.
+        self._result = encrypt_block_dispatch(bytes(block), round_keys)
         self._pending = True
         self.busy_until = now + busy
         self.blocks_processed += 1

@@ -15,10 +15,19 @@ BLOCK_BYTES = 16  # 128-bit block size shared by AES, GHASH and the bank registe
 
 
 def xor_bytes(a: bytes, b: bytes) -> bytes:
-    """XOR two equal-length byte strings."""
+    """XOR two equal-length byte strings.
+
+    One big-int XOR instead of a per-byte generator: CPython does the
+    word-wide XOR in C, which matters because every mode and the whole
+    device model funnel through this helper.
+    """
     if len(a) != len(b):
         raise ValueError(f"length mismatch: {len(a)} != {len(b)}")
-    return bytes(x ^ y for x, y in zip(a, b))
+    if not a:
+        return b""
+    return (int.from_bytes(a, "big") ^ int.from_bytes(b, "big")).to_bytes(
+        len(a), "big"
+    )
 
 
 def ceil_div(a: int, b: int) -> int:

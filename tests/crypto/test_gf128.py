@@ -1,11 +1,16 @@
-"""GF(2^128): algebraic laws (hypothesis) and the digit-serial core."""
+"""GF(2^128): algebraic laws (hypothesis), the digit-serial core and
+the tabulated (Shoup) fast multiplier."""
+
+import random
 
 from hypothesis import given, settings
 from hypothesis import strategies as st
 import pytest
 
+from repro.crypto.fast.gf128_tables import gf128_mul_tabulated, ghash_tables
 from repro.crypto.gf128 import (
     HW_GHASH_CYCLES,
+    MASK128,
     ONE,
     R_POLY,
     gf128_mul,
@@ -14,6 +19,10 @@ from repro.crypto.gf128 import (
 )
 
 elements = st.integers(min_value=0, max_value=(1 << 128) - 1)
+
+#: SP 800-38D edge elements: zero, the minimal polynomial x^127, the
+#: multiplicative identity and the all-ones element.
+EDGE_ELEMENTS = (0, 1, ONE, MASK128)
 
 
 @given(elements, elements)
@@ -77,3 +86,60 @@ def test_pow_square(a):
 def test_pow_identity():
     assert gf128_pow(R_POLY, 0) == ONE
     assert gf128_pow(R_POLY, 1) == R_POLY
+
+
+# -- tabulated (fast) multiplier -----------------------------------------
+
+
+def test_tabulated_matches_bit_serial_on_random_operands():
+    rng = random.Random(0x4D434350)
+    for _ in range(100):
+        x = rng.getrandbits(128)
+        y = rng.getrandbits(128)
+        assert gf128_mul_tabulated(x, y) == gf128_mul(x, y)
+
+
+@pytest.mark.parametrize("x", EDGE_ELEMENTS)
+@pytest.mark.parametrize("y", EDGE_ELEMENTS)
+def test_tabulated_edge_cases(x, y):
+    assert gf128_mul_tabulated(x, y) == gf128_mul(x, y)
+
+
+@given(elements, elements)
+@settings(max_examples=50, deadline=None)
+def test_tabulated_matches_bit_serial_property(a, b):
+    assert gf128_mul_tabulated(a, b) == gf128_mul(a, b)
+
+
+def test_tabulated_validation():
+    with pytest.raises(ValueError):
+        gf128_mul_tabulated(1 << 128, 1)
+    with pytest.raises(ValueError):
+        gf128_mul_tabulated(1, -1)
+    with pytest.raises(ValueError):
+        ghash_tables(1 << 128)
+
+
+def test_tables_memoized_per_subkey():
+    assert ghash_tables(0xDEADBEEF) is ghash_tables(0xDEADBEEF)
+
+
+@given(elements, st.integers(min_value=0, max_value=512))
+@settings(max_examples=25, deadline=None)
+def test_pow_fast_matches_reference(a, n):
+    assert gf128_pow(a, n, use_fast=True) == gf128_pow(a, n, use_fast=False)
+
+
+@given(elements)
+@settings(max_examples=50, deadline=None)
+def test_tabulated_square_matches_mul(a):
+    from repro.crypto.fast.gf128_tables import gf128_sqr_tabulated
+
+    assert gf128_sqr_tabulated(a) == gf128_mul(a, a)
+
+
+def test_tabulated_square_validation():
+    from repro.crypto.fast.gf128_tables import gf128_sqr_tabulated
+
+    with pytest.raises(ValueError):
+        gf128_sqr_tabulated(1 << 128)

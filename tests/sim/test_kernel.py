@@ -119,6 +119,67 @@ def test_timeout_event():
     assert sim.now == 20
 
 
+def test_pending_events_counter_tracks_push_pop():
+    sim = Simulator()
+    assert sim.pending_events == 0
+    entries = [sim.call_at(t, lambda _: None) for t in (1, 2, 3, 4)]
+    assert sim.pending_events == 4
+    sim.run(until=2)
+    assert sim.pending_events == 2
+    sim.run()
+    assert sim.pending_events == 0
+    assert all(e.cancelled is False for e in entries)
+
+
+def test_cancel_is_lazy_and_counted():
+    sim = Simulator()
+    log = []
+    keep = sim.call_at(5, lambda _: log.append("keep"))
+    drop = sim.call_at(3, lambda _: log.append("drop"))
+    assert sim.pending_events == 2
+    assert sim.cancel(drop) is True
+    assert sim.cancel(drop) is False  # idempotent
+    assert sim.pending_events == 1
+    sim.run()
+    assert log == ["keep"]
+    assert sim.pending_events == 0
+    assert keep.cancelled is False
+
+
+def test_cancel_after_execution_is_a_noop():
+    sim = Simulator()
+    entry = sim.call_at(1, lambda _: None)
+    sim.run()
+    assert sim.pending_events == 0
+    # Cancelling an already-executed entry must not drive the counter
+    # negative (it was popped, not queued).
+    assert sim.cancel(entry) is False
+    assert sim.pending_events == 0
+
+
+def test_cancelled_entry_skipped_in_run_until_event():
+    sim = Simulator()
+    ev = sim.event("target")
+    doomed = sim.call_at(1, lambda _: ev.trigger("wrong"))
+    sim.cancel(doomed)
+    sim.call_at(2, lambda _: ev.trigger("right"))
+    assert sim.run_until_event(ev) == "right"
+    assert sim.pending_events == 0
+
+
+def test_delay_validation_and_equality():
+    assert Delay(3) == Delay(3)
+    assert Delay(3) != Delay(4)
+    assert hash(Delay(3)) == hash(Delay(3))
+
+
+def test_delay_is_immutable():
+    d = Delay(3)
+    with pytest.raises(AttributeError):
+        d.cycles = -10
+    assert d.cycles == 3
+
+
 def test_delta_cycle_yield_none():
     sim = Simulator()
     order = []

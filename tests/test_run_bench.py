@@ -1,0 +1,42 @@
+"""Smoke test for the standalone bench runner.
+
+Keeps ``benchmarks/run_bench.py`` importable and its JSON schema stable
+so every PR can regenerate the perf trajectory without surprises.  The
+quick mode spends ~20 ms per kernel, so this stays test-suite cheap.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _load_run_bench():
+    spec = importlib.util.spec_from_file_location(
+        "run_bench", REPO_ROOT / "benchmarks" / "run_bench.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_run_bench_quick_emits_snapshot(tmp_path):
+    run_bench = _load_run_bench()
+    out_path = run_bench.main(["--quick", "--out", str(tmp_path)])
+    assert out_path.exists()
+    snapshot = json.loads(out_path.read_text())
+    assert snapshot["benchmarks"], "no benchmarks recorded"
+    for name, entry in snapshot["benchmarks"].items():
+        assert entry["ops_per_s"] > 0, name
+        assert entry["iterations"] >= 1, name
+    # Every *_fast kernel has a paired *_reference and a derived speedup.
+    assert set(snapshot["speedups"]) == {
+        "aes_block",
+        "gf128_mul",
+        "ghash_2kb",
+        "aes_ctr_2kb",
+        "gcm_2kb",
+        "ccm_2kb",
+    }
+    assert all(ratio > 0 for ratio in snapshot["speedups"].values())
