@@ -11,7 +11,6 @@ import pytest
 from repro.analysis.tables import render_table
 from repro.core.params import Algorithm, Direction
 from repro.mccp.mccp import Mccp
-from repro.radio import format_ccm_single, format_ccm_two_core
 from repro.radio.comm_controller import CommController
 from repro.radio.packet import Packet
 from repro.sim.kernel import Simulator

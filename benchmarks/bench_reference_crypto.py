@@ -13,7 +13,6 @@ fast-path speedup visible in one run:
 a ``BENCH_<date>.json`` snapshot for the perf trajectory.
 """
 
-import pytest
 
 from repro.crypto import AES, ccm_encrypt, gcm_encrypt, whirlpool
 from repro.crypto.fast.bulk import ctr_xcrypt_bulk

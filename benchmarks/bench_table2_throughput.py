@@ -11,7 +11,7 @@ import pytest
 from repro.analysis.tables import render_table
 from repro.analysis.throughput import PAPER_TABLE2, theoretical_mbps
 from repro.core.crypto_core import CryptoCore
-from repro.core.harness import drainer_process, feeder_process, run_task
+from repro.core.harness import drainer_process, feeder_process
 from repro.core.params import Direction
 from repro.crypto.aes import expand_key
 from repro.radio import format_ccm_single, format_ccm_two_core, format_gcm

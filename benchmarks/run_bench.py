@@ -1,10 +1,11 @@
 #!/usr/bin/env python
 """Standalone bench runner: ops/s per kernel, emitted as JSON.
 
-Runs the same hot-path kernels as ``bench_reference_crypto.py`` (plus a
-sim-kernel event benchmark) without any pytest machinery and writes
-``BENCH_<date>.json`` next to this file (or to ``--out``), so every PR
-leaves a machine-readable point on the performance trajectory::
+Thin CLI over :mod:`repro.experiments.kernels` (where the kernel
+definitions moved when the ``repro.experiments`` sweep subsystem
+absorbed the benchmarks — see ``python -m repro.experiments`` for the
+full campaign runner).  Kept because its ``BENCH_<date>.json`` schema
+is the committed perf baseline CI's perf-smoke job compares against::
 
     PYTHONPATH=src python benchmarks/run_bench.py          # full run
     PYTHONPATH=src python benchmarks/run_bench.py --quick  # smoke run
@@ -22,97 +23,14 @@ import datetime as _dt
 import json
 import platform
 import sys
-import time
 from pathlib import Path
-from typing import Callable, Dict, Tuple
 
 if __package__ is None and __name__ == "__main__":  # script invocation
     sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.crypto import AES, ccm_encrypt, gcm_encrypt
 from repro.crypto.fast import fast_enabled
 from repro.crypto.fast.aes_vector import HAVE_NUMPY
-from repro.crypto.fast.bulk import ctr_xcrypt_bulk
-from repro.crypto.fast.gf128_tables import gf128_mul_tabulated, ghash_tables
-from repro.crypto.gf128 import gf128_mul
-from repro.crypto.ghash import GHash
-from repro.crypto.modes.ctr import ctr_xcrypt
-from repro.sim.kernel import Delay, Simulator
-
-
-def _bytes(n: int, seed: int) -> bytes:
-    import random
-
-    return bytes(random.Random(seed).getrandbits(8) for _ in range(n))
-
-
-KEY = bytes(range(16))
-BLOCK = _bytes(16, 11)
-PACKET = _bytes(2048, 12)
-ICB = _bytes(16, 16)
-H = _bytes(16, 17)
-IV = _bytes(12, 18)
-NONCE = _bytes(13, 19)
-GF_X = int.from_bytes(_bytes(16, 13), "big")
-GF_Y = int.from_bytes(_bytes(16, 14), "big")
-
-
-def _kernel_events() -> None:
-    sim = Simulator()
-
-    def proc():
-        for _ in range(2000):
-            yield Delay(1)
-
-    for _ in range(4):
-        sim.add_process(proc())
-    sim.run()
-
-
-def benchmarks() -> Dict[str, Callable[[], object]]:
-    """Name -> zero-arg callable for one benchmark iteration."""
-    ref_cipher = AES(KEY, use_fast=False)
-    fast_cipher = AES(KEY, use_fast=True)
-    ghash_tables(int.from_bytes(H, "big"))  # pre-build (memoized per subkey)
-    return {
-        "aes_block_reference": lambda: ref_cipher.encrypt_block(BLOCK),
-        "aes_block_fast": lambda: fast_cipher.encrypt_block(BLOCK),
-        "gf128_mul_reference": lambda: gf128_mul(GF_X, GF_Y),
-        "gf128_mul_fast": lambda: gf128_mul_tabulated(GF_X, GF_Y),
-        "ghash_2kb_reference": lambda: GHash(H, use_fast=False)
-        .update_blocks(PACKET)
-        .digest(),
-        "ghash_2kb_fast": lambda: GHash(H, use_fast=True)
-        .update_blocks(PACKET)
-        .digest(),
-        "aes_ctr_2kb_reference": lambda: ctr_xcrypt(
-            ref_cipher, ICB, PACKET, 16, False
-        ),
-        "aes_ctr_2kb_fast": lambda: ctr_xcrypt_bulk(KEY, ICB, PACKET, 16),
-        "gcm_2kb_reference": lambda: gcm_encrypt(
-            KEY, IV, PACKET, b"", 16, False
-        ),
-        "gcm_2kb_fast": lambda: gcm_encrypt(KEY, IV, PACKET, b"", 16, True),
-        "ccm_2kb_reference": lambda: ccm_encrypt(
-            KEY, NONCE, PACKET, b"", 8, False
-        ),
-        "ccm_2kb_fast": lambda: ccm_encrypt(KEY, NONCE, PACKET, b"", 8, True),
-        "sim_kernel_8k_events": _kernel_events,
-    }
-
-
-def measure(fn: Callable[[], object], target_seconds: float) -> Tuple[float, int]:
-    """Run *fn* until *target_seconds* elapse; returns (ops_per_s, iters)."""
-    fn()  # warm-up (table builds, key-schedule memos)
-    iters = 0
-    start = time.perf_counter()
-    deadline = start + target_seconds
-    while True:
-        fn()
-        iters += 1
-        now = time.perf_counter()
-        if now >= deadline:
-            return iters / (now - start), iters
+from repro.experiments.kernels import build_kernels, measure
 
 
 def main(argv=None) -> Path:
@@ -133,7 +51,7 @@ def main(argv=None) -> Path:
     window = 0.02 if args.quick else args.seconds
 
     results = {}
-    for name, fn in benchmarks().items():
+    for name, fn in build_kernels().items():
         ops_per_s, iters = measure(fn, window)
         results[name] = {"ops_per_s": round(ops_per_s, 2), "iterations": iters}
         print(f"{name:28s} {ops_per_s:12.1f} ops/s  ({iters} iters)")

@@ -41,11 +41,26 @@ def feeder_process(core: CryptoCore, blocks: List[bytes], word_cycles: int = 1):
     return core.sim.now
 
 
-def drainer_process(core: CryptoCore, sink: List[int], word_cycles: int = 1):
-    """Continuously drain the core's output FIFO into *sink* (words)."""
-    while True:
+def drainer_process(
+    core: CryptoCore,
+    sink: List[int],
+    word_cycles: int = 1,
+    stop: Optional[List[bool]] = None,
+):
+    """Continuously drain the core's output FIFO into *sink* (words).
+
+    *stop* is a one-element mutable flag: once the caller sets
+    ``stop[0] = True`` the process exits at its next wake-up instead of
+    draining forever.  Without it, a drainer left over from an earlier
+    :func:`run_task` on the same core would steal output words from the
+    next task — the per-run isolation bug the experiments runner hit
+    when scenarios reuse a core across sequential packets.
+    """
+    while stop is None or not stop[0]:
         while not core.out_fifo.can_pop():
             yield core.out_fifo.wait_not_empty()
+            if stop is not None and stop[0]:
+                return
         sink.append(core.out_fifo.pop_word())
         yield Delay(word_cycles)
 
@@ -76,12 +91,17 @@ def run_task(
         feeder_process(core, task.input_blocks), name=f"{core.name}.feed"
     )
     sink: List[int] = []
+    stop = [False]
     if drain:
-        sim.add_process(drainer_process(core, sink), name=f"{core.name}.drain")
+        sim.add_process(
+            drainer_process(core, sink, stop=stop), name=f"{core.name}.drain"
+        )
     done = core.assign_task(task.params)
     result: CoreResult = sim.run_until_event(done, limit=limit)
-    # Let the drainer catch up with any words still in flight.
+    # Let the drainer catch up with any words still in flight, then
+    # retire it so a later run_task on this core starts clean.
     sim.run(until=sim.now + 8 * (len(sink) + 64))
+    stop[0] = True
     while core.out_fifo.can_pop():
         sink.append(core.out_fifo.pop_word())
     blocks = [

@@ -63,6 +63,18 @@ def set_fast(enabled: bool) -> bool:
     return previous
 
 
+def clear_caches() -> None:
+    """Drop the process-global memo caches (isolation hook).
+
+    The key-schedule LRU and the per-subkey Shoup tables are warm-path
+    optimisations shared by every workload in a process.  The experiment
+    sweep runner calls this before timing-tagged cases so measured ops/s
+    never depend on which earlier cases happened to share the worker.
+    """
+    expand_key_cached.cache_clear()
+    ghash_tables.cache_clear()
+
+
 def encrypt_block_dispatch(block, round_keys, use_fast: Optional[bool] = None):
     """Encrypt one block via the T-table or reference path per the switch."""
     if fast_enabled(use_fast):
@@ -102,6 +114,7 @@ __all__ = [
     "FAST_ENABLED",
     "fast_enabled",
     "set_fast",
+    "clear_caches",
     "encrypt_block_dispatch",
     "expand_key_dispatch",
     "encrypt_block_tt",

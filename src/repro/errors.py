@@ -119,5 +119,10 @@ class SimulationError(ReproError):
     """Raised by the discrete-event kernel on scheduling misuse."""
 
 
+class ExperimentError(ReproError):
+    """Raised by the experiment-sweep subsystem (unknown scenario,
+    malformed grid/metrics, baseline-comparison misuse)."""
+
+
 class SchedulerError(ReproError):
     """Raised by task-mapping policies on invalid configuration."""

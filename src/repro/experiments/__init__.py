@@ -1,0 +1,53 @@
+"""Parallel scenario-sweep subsystem (ISSUE 2's tentpole).
+
+Turns the repo's one-off benchmarks into declarative, reproducible
+experiment campaigns:
+
+- :mod:`repro.experiments.scenario` — the :class:`Scenario` dataclass,
+  the ``@register`` decorator and the global registry;
+- :mod:`repro.experiments.scenarios` — the built-in library (paper
+  tables, scheduling, scaling, ablation, mixed radio traffic, mode
+  mixes, key churn, reconfiguration storms, timing kernels);
+- :mod:`repro.experiments.runner` — the multiprocessing sweep runner
+  with per-case derived seeds (serial == parallel, guaranteed);
+- :mod:`repro.experiments.artifacts` — JSON/CSV artifacts and the
+  baseline ``compare`` gate CI runs on every PR.
+
+CLI::
+
+    python -m repro.experiments list
+    python -m repro.experiments run all --quick --parallel 4
+    python -m repro.experiments compare RUN.json benchmarks/BENCH_x.json
+"""
+
+from repro.experiments.artifacts import (
+    ComparisonReport,
+    compare,
+    load_artifact,
+    write_artifact,
+)
+from repro.experiments.runner import run_sweep
+from repro.experiments.scenario import (
+    REGISTRY,
+    Scenario,
+    case_seed,
+    get,
+    names,
+    register,
+    resolve,
+)
+
+__all__ = [
+    "REGISTRY",
+    "Scenario",
+    "ComparisonReport",
+    "case_seed",
+    "compare",
+    "get",
+    "load_artifact",
+    "names",
+    "register",
+    "resolve",
+    "run_sweep",
+    "write_artifact",
+]

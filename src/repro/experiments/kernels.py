@@ -1,0 +1,167 @@
+"""Hot-path kernel definitions shared by the bench CLI and scenarios.
+
+This module is the single home of the microbenchmark kernels that used
+to live inline in ``benchmarks/run_bench.py``: the same name -> callable
+mapping now feeds three consumers —
+
+- ``benchmarks/run_bench.py`` (the standalone ``BENCH_<date>.json``
+  snapshot CLI, kept as a thin wrapper for backwards compatibility),
+- the ``bench_kernels`` scenario in
+  :mod:`repro.experiments.scenarios.bench` (CI's perf-smoke sweep), and
+- :func:`correctness_check`, which pairs every kernel with a
+  cross-path verification so a perf run doubles as a crypto-equivalence
+  gate: timing may drift on shared CI runners, byte-exactness may not.
+
+Kernel names are a stable schema: the committed ``BENCH_*.json``
+baselines key on them, and ``<name>_fast`` / ``<name>_reference`` pairs
+derive the speedup table.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Callable, Dict, Tuple
+
+from repro.crypto import AES, ccm_encrypt, gcm_encrypt
+from repro.crypto.fast.bulk import ctr_xcrypt_bulk
+from repro.crypto.fast.gf128_tables import gf128_mul_tabulated, ghash_tables
+from repro.crypto.gf128 import gf128_mul
+from repro.crypto.ghash import GHash
+from repro.crypto.modes.ctr import ctr_xcrypt
+from repro.sim.kernel import Delay, Simulator
+
+
+def deterministic_bytes(n: int, seed: int) -> bytes:
+    """Seeded byte string (the bench inputs must not vary run to run)."""
+    return bytes(random.Random(seed).getrandbits(8) for _ in range(n))
+
+
+KEY = bytes(range(16))
+BLOCK = deterministic_bytes(16, 11)
+PACKET = deterministic_bytes(2048, 12)
+ICB = deterministic_bytes(16, 16)
+H = deterministic_bytes(16, 17)
+IV = deterministic_bytes(12, 18)
+NONCE = deterministic_bytes(13, 19)
+GF_X = int.from_bytes(deterministic_bytes(16, 13), "big")
+GF_Y = int.from_bytes(deterministic_bytes(16, 14), "big")
+
+#: Events per process in the sim-kernel benchmark (4 processes).
+_KERNEL_EVENTS = 2000
+
+
+def _kernel_events() -> int:
+    sim = Simulator()
+
+    def proc():
+        for _ in range(_KERNEL_EVENTS):
+            yield Delay(1)
+
+    for _ in range(4):
+        sim.add_process(proc())
+    sim.run()
+    return sim.now
+
+
+def build_kernels() -> Dict[str, Callable[[], object]]:
+    """Name -> zero-arg callable for one benchmark iteration."""
+    ref_cipher = AES(KEY, use_fast=False)
+    fast_cipher = AES(KEY, use_fast=True)
+    ghash_tables(int.from_bytes(H, "big"))  # pre-build (memoized per subkey)
+    return {
+        "aes_block_reference": lambda: ref_cipher.encrypt_block(BLOCK),
+        "aes_block_fast": lambda: fast_cipher.encrypt_block(BLOCK),
+        "gf128_mul_reference": lambda: gf128_mul(GF_X, GF_Y),
+        "gf128_mul_fast": lambda: gf128_mul_tabulated(GF_X, GF_Y),
+        "ghash_2kb_reference": lambda: GHash(H, use_fast=False)
+        .update_blocks(PACKET)
+        .digest(),
+        "ghash_2kb_fast": lambda: GHash(H, use_fast=True)
+        .update_blocks(PACKET)
+        .digest(),
+        "aes_ctr_2kb_reference": lambda: ctr_xcrypt(
+            ref_cipher, ICB, PACKET, 16, False
+        ),
+        "aes_ctr_2kb_fast": lambda: ctr_xcrypt_bulk(KEY, ICB, PACKET, 16),
+        "gcm_2kb_reference": lambda: gcm_encrypt(
+            KEY, IV, PACKET, b"", 16, False
+        ),
+        "gcm_2kb_fast": lambda: gcm_encrypt(KEY, IV, PACKET, b"", 16, True),
+        "ccm_2kb_reference": lambda: ccm_encrypt(
+            KEY, NONCE, PACKET, b"", 8, False
+        ),
+        "ccm_2kb_fast": lambda: ccm_encrypt(KEY, NONCE, PACKET, b"", 8, True),
+        "sim_kernel_8k_events": _kernel_events,
+    }
+
+
+#: Stable kernel-name schema (what BENCH_*.json baselines key on).
+#: Declared literally — deriving it from build_kernels() would run two
+#: key expansions and a Shoup-table build at import time; a test pins
+#: it to build_kernels()'s actual keys.
+KERNEL_NAMES = (
+    "aes_block_reference",
+    "aes_block_fast",
+    "gf128_mul_reference",
+    "gf128_mul_fast",
+    "ghash_2kb_reference",
+    "ghash_2kb_fast",
+    "aes_ctr_2kb_reference",
+    "aes_ctr_2kb_fast",
+    "gcm_2kb_reference",
+    "gcm_2kb_fast",
+    "ccm_2kb_reference",
+    "ccm_2kb_fast",
+    "sim_kernel_8k_events",
+)
+
+
+def correctness_check(name: str) -> bool:
+    """Cross-path verification for kernel *name*.
+
+    Fast kernels are checked byte-for-byte against their reference
+    twins; reference kernels and the sim kernel are checked against
+    invariants (decrypt round-trip, final simulated time).  This is the
+    signal the CI perf-smoke job *fails* on — ops/s only ever warns.
+    """
+    ref_cipher = AES(KEY, use_fast=False)
+    fast_cipher = AES(KEY, use_fast=True)
+    if name in ("aes_block_reference", "aes_block_fast"):
+        ct = fast_cipher.encrypt_block(BLOCK)
+        return ct == ref_cipher.encrypt_block(BLOCK) and (
+            ref_cipher.decrypt_block(ct) == BLOCK
+        )
+    if name in ("gf128_mul_reference", "gf128_mul_fast"):
+        return gf128_mul(GF_X, GF_Y) == gf128_mul_tabulated(GF_X, GF_Y)
+    if name in ("ghash_2kb_reference", "ghash_2kb_fast"):
+        ref = GHash(H, use_fast=False).update_blocks(PACKET).digest()
+        return ref == GHash(H, use_fast=True).update_blocks(PACKET).digest()
+    if name in ("aes_ctr_2kb_reference", "aes_ctr_2kb_fast"):
+        ref = ctr_xcrypt(ref_cipher, ICB, PACKET, 16, False)
+        return ref == ctr_xcrypt_bulk(KEY, ICB, PACKET, 16)
+    if name in ("gcm_2kb_reference", "gcm_2kb_fast"):
+        return gcm_encrypt(KEY, IV, PACKET, b"", 16, False) == gcm_encrypt(
+            KEY, IV, PACKET, b"", 16, True
+        )
+    if name in ("ccm_2kb_reference", "ccm_2kb_fast"):
+        return ccm_encrypt(KEY, NONCE, PACKET, b"", 8, False) == ccm_encrypt(
+            KEY, NONCE, PACKET, b"", 8, True
+        )
+    if name == "sim_kernel_8k_events":
+        return _kernel_events() == _KERNEL_EVENTS
+    raise KeyError(f"unknown kernel {name!r}")
+
+
+def measure(fn: Callable[[], object], target_seconds: float) -> Tuple[float, int]:
+    """Run *fn* until *target_seconds* elapse; returns (ops_per_s, iters)."""
+    fn()  # warm-up (table builds, key-schedule memos)
+    iters = 0
+    start = time.perf_counter()
+    deadline = start + target_seconds
+    while True:
+        fn()
+        iters += 1
+        now = time.perf_counter()
+        if now >= deadline:
+            return iters / (now - start), iters

@@ -1,0 +1,38 @@
+"""The microbenchmark kernels as a sweepable (timing-tagged) scenario.
+
+Same kernel names and measurement loop as ``benchmarks/run_bench.py``
+(both import :mod:`repro.experiments.kernels`), plus a per-kernel
+cross-path ``correct`` bool.  ``ops_per_s`` / ``iterations`` are
+declared timing metrics, so baseline comparison warns on drift but
+fails on a correctness mismatch — the CI perf-smoke contract.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.kernels import (
+    KERNEL_NAMES,
+    build_kernels,
+    correctness_check,
+    measure,
+)
+from repro.experiments.scenario import register
+
+
+@register(
+    name="bench_kernels",
+    title="Hot-path kernel ops/s (fast vs reference pairs)",
+    description="The BENCH_<date>.json kernels, one case per kernel, "
+    "with cross-path correctness verification.",
+    grid={"kernel": list(KERNEL_NAMES)},
+    tags=("timing", "perf"),
+    timing_metrics=("ops_per_s", "iterations"),
+)
+def bench_kernels(params, seed, quick):
+    """Measure one kernel's ops/s and verify its correctness twin."""
+    name = params["kernel"]
+    ops_per_s, iterations = measure(build_kernels()[name], 0.01 if quick else 0.2)
+    return {
+        "ops_per_s": round(ops_per_s, 2),
+        "iterations": iterations,
+        "correct": correctness_check(name),
+    }

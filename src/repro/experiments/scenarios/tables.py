@@ -1,0 +1,127 @@
+"""Paper-table scenarios: Tables II, III and IV as sweepable grids.
+
+These wrap the same device-model runs as the pytest benchmarks
+(``benchmarks/bench_table*.py``), but expressed as registry scenarios so
+campaigns can grid over configurations and the CI perf-smoke sweep
+regression-gates every reproduced cell.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.area import AreaModel
+from repro.analysis.throughput import PAPER_TABLE2, theoretical_mbps
+from repro.baselines import LITERATURE_ENTRIES, mccp_entry
+from repro.core.params import Direction
+from repro.experiments.scenario import register
+from repro.experiments.scenarios._util import (
+    KEYS,
+    deterministic_bytes,
+    packet_mbps,
+    run_single_core,
+    run_two_core_ccm,
+)
+from repro.radio import format_ccm_single, format_ccm_two_core, format_gcm
+from repro.reconfig import MODULE_LIBRARY, BitstreamStore, StoreKind
+
+#: Paper Table IV, for the per-cell reference columns.
+_PAPER_TABLE4_MS = {
+    ("aes", "cf"): 380,
+    ("aes", "ram"): 63,
+    ("whirlpool", "cf"): 416,
+    ("whirlpool", "ram"): 69,
+}
+
+
+@register(
+    name="table2_throughput",
+    title="Table II: MCCP encryption throughputs at 190 MHz",
+    description="Single-core GCM/CCM and two-core CCM, 2 KB packets, "
+    "against the published theoretical and packet columns.",
+    grid={"config": ["gcm_1", "ccm_1", "ccm_2"], "key_bits": [128, 192, 256]},
+    quick_grid={"config": ["gcm_1", "ccm_1"], "key_bits": [128]},
+    tags=("paper", "throughput"),
+)
+def table2_throughput(params, seed, quick):
+    """Reproduce one Table II cell pair from a simulated 2 KB packet."""
+    config, key_bits = params["config"], params["key_bits"]
+    key = KEYS[key_bits]
+    payload = deterministic_bytes(2048, seed)
+    nonce12 = deterministic_bytes(12, seed + 1)
+    nonce13 = deterministic_bytes(13, seed + 2)
+    if config == "gcm_1":
+        task = format_gcm(key_bits, nonce12, b"", payload, Direction.ENCRYPT)
+        run, _, _ = run_single_core(task, key)
+        cycles = run.result.cycles
+    elif config == "ccm_1":
+        task = format_ccm_single(
+            key_bits, nonce13, b"", payload, Direction.ENCRYPT, 8
+        )
+        run, _, _ = run_single_core(task, key)
+        cycles = run.result.cycles
+    else:  # ccm_2: the two-core MAC/CTR split
+        mac_task, ctr_task = format_ccm_two_core(
+            key_bits, nonce13, b"", payload, Direction.ENCRYPT, 8
+        )
+        cycles = run_two_core_ccm(mac_task, ctr_task, key)
+    measured = packet_mbps(2048, cycles)
+    paper_theoretical, paper_packet = PAPER_TABLE2[(config, key_bits)]
+    return {
+        "cycles": cycles,
+        "mbps_2kb": round(measured, 2),
+        "mbps_theoretical": round(theoretical_mbps(config, key_bits), 2),
+        "paper_mbps_2kb": paper_packet,
+        "paper_mbps_theoretical": paper_theoretical,
+        "within_10pct_of_paper": abs(measured - paper_packet) / paper_packet < 0.10,
+    }
+
+
+@register(
+    name="table3_comparison",
+    title="Table III: comparison with the literature",
+    description="MCCP Mbps/MHz recomputed from the timing model, plus "
+    "the area totals and the table's ordering claims.",
+    tags=("paper",),
+)
+def table3_comparison(params, seed, quick):
+    """Recompute the MCCP row of Table III and its ordering claims."""
+    gcm_row = mccp_entry(algorithm="GCM")
+    ccm_row = mccp_entry(algorithm="CCM")
+    slices, brams = AreaModel(4).device_total()
+    programmables = [e for e in LITERATURE_ENTRIES if e.programmable]
+    beats_programmables = all(
+        gcm_row.throughput_mbps_per_mhz > e.throughput_mbps_per_mhz
+        for e in programmables
+    )
+    return {
+        "gcm_mbps_per_mhz": gcm_row.throughput_mbps_per_mhz,
+        "ccm_mbps_per_mhz": ccm_row.throughput_mbps_per_mhz,
+        "slices": slices,
+        "brams": brams,
+        "beats_programmable_designs": beats_programmables,
+    }
+
+
+@register(
+    name="table4_reconfig",
+    title="Table IV: partial reconfiguration load times",
+    description="Bitstream load times per module and store, against the "
+    "paper's CompactFlash and RAM columns.",
+    grid={"module": ["aes", "whirlpool"], "store": ["cf", "ram"]},
+    tags=("paper", "reconfig"),
+)
+def table4_reconfig(params, seed, quick):
+    """Reproduce one Table IV timing cell from the bandwidth model."""
+    module, store_name = params["module"], params["store"]
+    store = BitstreamStore(
+        StoreKind.COMPACT_FLASH if store_name == "cf" else StoreKind.RAM
+    )
+    bitstream = MODULE_LIBRARY[module]
+    ours_ms = store.load_seconds(module) * 1000
+    paper_ms = _PAPER_TABLE4_MS[(module, store_name)]
+    return {
+        "load_ms": round(ours_ms, 2),
+        "paper_ms": paper_ms,
+        "bitstream_kb": bitstream.size_bytes // 1000,
+        "slices": bitstream.slices,
+        "within_5pct_of_paper": abs(ours_ms - paper_ms) / paper_ms < 0.05,
+    }

@@ -24,7 +24,7 @@ untouched; COMPARE sets flags like SUB without writing the register.
 
 from __future__ import annotations
 
-from typing import Callable, Generator, List, Optional, Protocol
+from typing import Generator, List, Optional, Protocol
 
 from repro.errors import ExecutionError
 from repro.isa.opcodes import Op

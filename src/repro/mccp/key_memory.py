@@ -10,7 +10,7 @@ reads are only served to the Key Scheduler.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict
 
 from repro.errors import KeyStoreError
 

@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.crypto_core import CoreResult, CryptoCore
-from repro.core.params import Algorithm, CcmRole
+from repro.core.params import Algorithm
 from repro.errors import ChannelError, NoResourceError, ProtocolError
 from repro.mccp.channel import Channel
 from repro.mccp.crossbar import Crossbar

@@ -16,7 +16,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.params import Algorithm, Direction
-from repro.errors import NoResourceError, ProtocolError
+from repro.errors import ProtocolError
 from repro.mccp.mccp import Mccp
 from repro.mccp.task_scheduler import PendingRequest
 from repro.radio.formatting import (
@@ -25,7 +25,7 @@ from repro.radio.formatting import (
     parse_output,
 )
 from repro.radio.packet import Packet, SecuredPacket
-from repro.sim.kernel import Delay, Event, Simulator
+from repro.sim.kernel import Event, Simulator
 from repro.utils.bits import words32_to_bytes
 
 

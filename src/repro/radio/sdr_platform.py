@@ -19,7 +19,7 @@ from repro.errors import NoResourceError
 from repro.mccp.mccp import Mccp
 from repro.radio.comm_controller import CommController
 from repro.radio.standards import STANDARD_PROFILES, RadioStandard
-from repro.radio.traffic import GeneratedPacket, TrafficGenerator, TrafficPattern
+from repro.radio.traffic import TrafficGenerator, TrafficPattern
 from repro.sim.kernel import Delay, Simulator
 
 

@@ -11,7 +11,7 @@ even when the backing store is CompactFlash.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set
+from typing import List, Optional, Set
 
 from repro.core.crypto_core import CryptoCore
 from repro.errors import ReconfigError
@@ -85,9 +85,14 @@ class ReconfigManager:
         cached = self._is_cached(module)
         cycles = self.load_cycles(module, cached)
         done = self.sim.event(f"reconfig.core{core_index}.{module}")
+        # The region is out of service while the bitstream loads: mark
+        # the core busy so task schedulers and the single-core harness
+        # refuse to map work onto it mid-reconfiguration.
+        core.busy = True
 
         def proc():
             yield Delay(cycles)
+            core.busy = False
             region.load(bitstream)
             core.use_whirlpool_personality(bitstream.personality == "whirlpool")
             self._cache_insert(module)

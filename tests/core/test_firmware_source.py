@@ -4,7 +4,7 @@ import re
 
 import pytest
 
-from repro.core.firmware.builder import FW, P_CU
+from repro.core.firmware.builder import FW
 from repro.core.firmware.cbc_mac import build_cbc_mac
 from repro.core.firmware.ccm_one_core import build_ccm_one_core
 from repro.core.firmware.ccm_two_core import build_ccm_ctr_core, build_ccm_mac_core

@@ -1,7 +1,5 @@
 """Mapping policies: first-idle (paper), round-robin, priority, latency."""
 
-import pytest
-
 from repro import Algorithm, Direction, Mccp, Simulator
 from repro.radio import format_gcm
 from repro.sched import (

@@ -1,0 +1,118 @@
+"""`Simulator.cancel` interacting with the `Delay` fast path.
+
+PR 1 gave the process stepper a fast path that pushes Delay wake-ups
+straight onto the heap (bypassing ``call_at``) and made ``cancel`` a
+lazy tombstone.  These tests pin the invariants the two features must
+jointly hold: the pending counter stays exact, cancelled entries never
+fire even when interleaved with fast-path wake-ups, and cancellation
+observed from *inside* running processes behaves.
+"""
+
+from repro.sim.kernel import Delay, Simulator
+
+
+def test_cancel_between_delay_fast_path_entries():
+    """A cancelled callback scheduled between Delay wake-ups never runs."""
+    sim = Simulator()
+    log = []
+
+    def ticker():
+        for _ in range(5):
+            yield Delay(2)
+            log.append(("tick", sim.now))
+
+    sim.add_process(ticker())
+    entry = sim.call_at(5, lambda _: log.append(("cancelled!", sim.now)))
+    assert sim.cancel(entry) is True
+    sim.run()
+    assert log == [("tick", t) for t in (2, 4, 6, 8, 10)]
+    assert sim.pending_events == 0
+
+
+def test_pending_counter_with_fast_path_and_cancel():
+    """The O(1) counter tracks fast-path pushes and lazy cancels."""
+    sim = Simulator()
+
+    def sleeper():
+        yield Delay(10)
+
+    sim.add_process(sleeper())  # call_soon for the first step
+    assert sim.pending_events == 1
+    doomed = [sim.call_at(3, lambda _: None) for _ in range(4)]
+    assert sim.pending_events == 5
+    for entry in doomed:
+        assert sim.cancel(entry)
+    assert sim.pending_events == 1
+    # Second cancel is a no-op and must not double-decrement.
+    assert not sim.cancel(doomed[0])
+    assert sim.pending_events == 1
+    sim.run()
+    assert sim.pending_events == 0
+    assert sim.now == 10  # the Delay fast-path entry still fired
+
+
+def test_cancel_from_inside_a_process():
+    """A process can cancel a pending callback racing its own Delay."""
+    sim = Simulator()
+    fired = []
+    entry = sim.call_at(7, lambda _: fired.append(sim.now))
+
+    def canceller():
+        yield Delay(5)
+        assert sim.cancel(entry)
+        yield Delay(10)
+
+    sim.add_process(canceller())
+    sim.run()
+    assert fired == []
+    assert sim.now == 15
+    assert sim.pending_events == 0
+
+
+def test_cancel_consumed_fast_path_entry_is_noop():
+    """Entries consumed by the run loop can't be cancelled after the fact."""
+    sim = Simulator()
+    entry = sim.call_at(1, lambda _: None)
+
+    def proc():
+        yield Delay(3)
+
+    sim.add_process(proc())
+    sim.run()
+    assert entry.consumed
+    assert sim.cancel(entry) is False
+    assert sim.pending_events == 0
+
+
+def test_cancelled_timeout_never_triggers_event():
+    """Cancelling a timeout's entry silences the event, queue drains."""
+    sim = Simulator()
+    seen = []
+    entry = sim.call_later(4, lambda _: seen.append("timeout"))
+
+    def waiter():
+        yield Delay(2)
+        sim.cancel(entry)
+        yield Delay(6)
+        seen.append("done")
+
+    sim.add_process(waiter())
+    sim.run()
+    assert seen == ["done"]
+
+
+def test_run_until_with_cancelled_head_entry():
+    """`run(until=...)` skips a cancelled entry sitting at the heap head."""
+    sim = Simulator()
+    log = []
+    head = sim.call_at(1, lambda _: log.append("head"))
+
+    def proc():
+        yield Delay(2)
+        log.append("delay")
+
+    sim.add_process(proc())
+    sim.cancel(head)
+    sim.run(until=5)
+    assert log == ["delay"]
+    assert sim.now == 5

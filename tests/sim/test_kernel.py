@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import SimulationError
-from repro.sim.kernel import Delay, Event, Simulator
+from repro.sim.kernel import Delay, Simulator
 
 
 def test_callbacks_run_in_time_order():
