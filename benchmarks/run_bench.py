@@ -22,6 +22,7 @@ import argparse
 import datetime as _dt
 import json
 import platform
+import re
 import sys
 from pathlib import Path
 
@@ -47,6 +48,11 @@ def main(argv=None) -> Path:
         "--quick", action="store_true",
         help="smoke mode: ~20 ms per benchmark (for the test suite)",
     )
+    parser.add_argument(
+        "--stem", default=None,
+        help="snapshot filename stem (default BENCH_<date>; pass e.g. "
+        "BENCH_<date>b to snapshot twice on one day without clobbering)",
+    )
     args = parser.parse_args(argv)
     window = 0.02 if args.quick else args.seconds
 
@@ -64,8 +70,17 @@ def main(argv=None) -> Path:
                 speedups[name[: -len("_fast")]] = round(
                     results[name]["ops_per_s"] / results[ref]["ops_per_s"], 2
                 )
+        # Batch kernels (one op = N packets): derive the per-packet
+        # speedup over the sequential fast kernel they accelerate.
+        batch = re.fullmatch(r"(.+)_batch(\d+)_fast", name)
+        if batch and f"{batch[1]}_fast" in results:
+            base = results[f"{batch[1]}_fast"]["ops_per_s"]
+            if base:
+                speedups[f"{batch[1]}_batch{batch[2]}_per_packet"] = round(
+                    results[name]["ops_per_s"] * int(batch[2]) / base, 2
+                )
     for pair, ratio in sorted(speedups.items()):
-        print(f"speedup {pair:22s} {ratio:8.1f}x")
+        print(f"speedup {pair:34s} {ratio:8.1f}x")
 
     snapshot = {
         "date": _dt.date.today().isoformat(),
@@ -78,7 +93,8 @@ def main(argv=None) -> Path:
         "speedups": speedups,
     }
     args.out.mkdir(parents=True, exist_ok=True)
-    out_path = args.out / f"BENCH_{snapshot['date']}.json"
+    stem = args.stem or f"BENCH_{snapshot['date']}"
+    out_path = args.out / f"{stem}.json"
     out_path.write_text(json.dumps(snapshot, indent=2) + "\n")
     print(f"wrote {out_path}")
     return out_path

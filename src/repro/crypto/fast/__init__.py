@@ -66,13 +66,19 @@ def set_fast(enabled: bool) -> bool:
 def clear_caches() -> None:
     """Drop the process-global memo caches (isolation hook).
 
-    The key-schedule LRU and the per-subkey Shoup tables are warm-path
-    optimisations shared by every workload in a process.  The experiment
-    sweep runner calls this before timing-tagged cases so measured ops/s
-    never depend on which earlier cases happened to share the worker.
+    The key-schedule LRU, the per-subkey Shoup tables and the H-power
+    table sets are warm-path optimisations shared by every workload in
+    a process.  All of them are bounded LRUs (see the ``*_SLOTS``
+    constants next to each cache), so key churn cannot grow memory
+    without limit; this hook additionally empties them outright.  The
+    experiment sweep runner calls it before timing-tagged cases so
+    measured ops/s never depend on which earlier cases happened to
+    share the worker.
     """
     expand_key_cached.cache_clear()
     ghash_tables.cache_clear()
+    clear_hpower_caches()
+    clear_vector_caches()
 
 
 def encrypt_block_dispatch(block, round_keys, use_fast: Optional[bool] = None):
@@ -97,9 +103,16 @@ from repro.crypto.fast.aes_ttable import (  # noqa: E402
     encrypt_block_tt,
     expand_key_cached,
 )
+from repro.crypto.fast.aes_vector import clear_vector_caches  # noqa: E402
 from repro.crypto.fast.gf128_tables import (  # noqa: E402
     gf128_mul_tabulated,
     ghash_tables,
+)
+from repro.crypto.fast.ghash_hpower import (  # noqa: E402
+    clear_hpower_caches,
+    ghash_blocks_hpower,
+    hpower_tables,
+    hpower_tables_vec,
 )
 from repro.crypto.fast.bulk import (  # noqa: E402
     cbc_mac_fast,
@@ -108,6 +121,14 @@ from repro.crypto.fast.bulk import (  # noqa: E402
     ctr_stream,
     gcm_open,
     gcm_seal,
+)
+from repro.crypto.fast.batch import (  # noqa: E402
+    cbc_mac_many,
+    ccm_open_many,
+    ccm_seal_many,
+    gcm_open_many,
+    gcm_seal_many,
+    gmac_many,
 )
 
 __all__ = [
@@ -121,10 +142,19 @@ __all__ = [
     "expand_key_cached",
     "gf128_mul_tabulated",
     "ghash_tables",
+    "ghash_blocks_hpower",
+    "hpower_tables",
+    "hpower_tables_vec",
     "cbc_mac_fast",
     "ccm_seal",
     "ccm_open",
     "ctr_stream",
     "gcm_seal",
     "gcm_open",
+    "cbc_mac_many",
+    "ccm_seal_many",
+    "ccm_open_many",
+    "gcm_seal_many",
+    "gcm_open_many",
+    "gmac_many",
 ]

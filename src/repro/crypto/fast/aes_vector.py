@@ -15,6 +15,7 @@ so the package never *requires* the dependency.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Optional, Sequence
 
 try:  # pragma: no cover - exercised implicitly by every import
@@ -36,35 +37,72 @@ if HAVE_NUMPY:
     _TE2 = _np.array(TE2, dtype=_np.uint32)
     _TE3 = _np.array(TE3, dtype=_np.uint32)
     _SBOX = _np.array(SBOX, dtype=_np.uint32)
+    #: ShiftRows as row permutations of the packed (4, N) state.
+    _ROT1 = _np.array([1, 2, 3, 0])
+    _ROT2 = _np.array([2, 3, 0, 1])
+    _ROT3 = _np.array([3, 0, 1, 2])
+
+#: Capacity of the round-key-array memo (mirrors ``expand_key_cached``).
+ROUND_KEY_ARRAY_SLOTS = 256
+
+if HAVE_NUMPY:
+
+    @lru_cache(maxsize=ROUND_KEY_ARRAY_SLOTS)
+    def _round_keys_array(round_keys):
+        """uint32 array view of an expanded schedule, memoized per schedule.
+
+        The lane-parallel CBC-MAC calls :func:`encrypt_state_vector` once
+        per block step under one unchanging schedule, so the tuple->array
+        conversion must not sit inside that loop.
+        """
+        return _np.array(round_keys, dtype=_np.uint32)
+
+
+def clear_vector_caches() -> None:
+    """Drop the round-key-array memo (no-op when numpy is absent)."""
+    if HAVE_NUMPY:
+        _round_keys_array.cache_clear()
+
+
+def encrypt_state_vector(state, round_keys: Sequence[Sequence[int]]):
+    """Encrypt a batch of blocks held as one packed ``(4, N)`` state.
+
+    Row *i* holds column word *i* of every block (lane).  Packing the
+    four words into one array quarters the number of numpy dispatches
+    per round versus four independent word arrays, which is what makes
+    narrow batches (CBC-MAC lanes) worthwhile.  Returns the transformed
+    ``(4, N)`` array; the caller owns byte packing.
+    """
+    rounds = len(round_keys) - 1
+    if not isinstance(round_keys, tuple):
+        round_keys = tuple(tuple(words) for words in round_keys)
+    rk = _round_keys_array(round_keys)
+    s = state ^ rk[0][:, None]
+    for r in range(1, rounds):
+        s = (
+            _TE0[s >> 24]
+            ^ _TE1[(s[_ROT1] >> 16) & 255]
+            ^ _TE2[(s[_ROT2] >> 8) & 255]
+            ^ _TE3[s[_ROT3] & 255]
+        ) ^ rk[r][:, None]
+    return (
+        (_SBOX[s >> 24] << 24)
+        | (_SBOX[(s[_ROT1] >> 16) & 255] << 16)
+        | (_SBOX[(s[_ROT2] >> 8) & 255] << 8)
+        | _SBOX[s[_ROT3] & 255]
+    ) ^ rk[rounds][:, None]
+
+
+def state_to_bytes(state) -> bytes:
+    """Serialise a packed ``(4, N)`` state to N big-endian 16-byte blocks."""
+    return state.T.astype(">u4").tobytes()
 
 
 def _encrypt_words_vector(w0, w1, w2, w3, round_keys: Sequence[Sequence[int]]) -> bytes:
-    """Encrypt a batch of blocks held as four uint32 word arrays."""
-    rounds = len(round_keys) - 1
-    rk = round_keys[0]
-    w0 = w0 ^ _np.uint32(rk[0])
-    w1 = w1 ^ _np.uint32(rk[1])
-    w2 = w2 ^ _np.uint32(rk[2])
-    w3 = w3 ^ _np.uint32(rk[3])
-    for r in range(1, rounds):
-        rk = round_keys[r]
-        n0 = _TE0[w0 >> 24] ^ _TE1[(w1 >> 16) & 255] ^ _TE2[(w2 >> 8) & 255] ^ _TE3[w3 & 255] ^ _np.uint32(rk[0])
-        n1 = _TE0[w1 >> 24] ^ _TE1[(w2 >> 16) & 255] ^ _TE2[(w3 >> 8) & 255] ^ _TE3[w0 & 255] ^ _np.uint32(rk[1])
-        n2 = _TE0[w2 >> 24] ^ _TE1[(w3 >> 16) & 255] ^ _TE2[(w0 >> 8) & 255] ^ _TE3[w1 & 255] ^ _np.uint32(rk[2])
-        n3 = _TE0[w3 >> 24] ^ _TE1[(w0 >> 16) & 255] ^ _TE2[(w1 >> 8) & 255] ^ _TE3[w2 & 255] ^ _np.uint32(rk[3])
-        w0, w1, w2, w3 = n0, n1, n2, n3
-    rk = round_keys[rounds]
-    sb = _SBOX
-    o0 = ((sb[w0 >> 24] << 24) | (sb[(w1 >> 16) & 255] << 16) | (sb[(w2 >> 8) & 255] << 8) | sb[w3 & 255]) ^ _np.uint32(rk[0])
-    o1 = ((sb[w1 >> 24] << 24) | (sb[(w2 >> 16) & 255] << 16) | (sb[(w3 >> 8) & 255] << 8) | sb[w0 & 255]) ^ _np.uint32(rk[1])
-    o2 = ((sb[w2 >> 24] << 24) | (sb[(w3 >> 16) & 255] << 16) | (sb[(w0 >> 8) & 255] << 8) | sb[w1 & 255]) ^ _np.uint32(rk[2])
-    o3 = ((sb[w3 >> 24] << 24) | (sb[(w0 >> 16) & 255] << 16) | (sb[(w1 >> 8) & 255] << 8) | sb[w2 & 255]) ^ _np.uint32(rk[3])
-    out = _np.empty((len(o0), 4), dtype=">u4")
-    out[:, 0] = o0
-    out[:, 1] = o1
-    out[:, 2] = o2
-    out[:, 3] = o3
-    return out.tobytes()
+    """Encrypt a batch given as four uint32 word arrays; returns bytes."""
+    return state_to_bytes(
+        encrypt_state_vector(_np.stack((w0, w1, w2, w3)), round_keys)
+    )
 
 
 def ctr_keystream_vector(

@@ -1,0 +1,498 @@
+"""Multi-packet batch AEAD: lane-parallel CBC-MAC and fused counters.
+
+The one-call APIs in :mod:`repro.crypto.fast.bulk` accelerate a single
+message; this module accelerates a *batch* of same-key packets — the
+shape of the paper's many-channel traffic, where the MCCP keeps every
+core busy on one session key's packet stream.  Three mechanisms:
+
+- **lane-parallel CBC-MAC** (:func:`cbc_mac_many`) — CBC-MAC's
+  feedback chain cannot batch across blocks, but N packets' chains are
+  mutually independent, so they run as N lanes of one packed ``(4, N)``
+  T-table state (:func:`repro.crypto.fast.aes_vector
+  .encrypt_state_vector`): every AES round is a handful of numpy
+  gathers across all lanes.  This is the software restatement of the
+  paper's two-core CCM split — the MAC half stops serialising the
+  batch.  Ragged batches sort lanes by block count so shorter packets
+  simply retire early.  Without numpy, lanes run round-robin through
+  the scalar T-table round, preserving the ragged-lane structure.
+- **fused counter runs** (:func:`_fused_keystream`) — every packet's
+  CTR blocks (and GCM's ``E(J_0)`` tag masks) are mutually
+  independent, so the whole batch's counters become one packed
+  encryption sweep instead of one numpy dispatch per packet.
+- **H-power GHASH** — per-packet tags fold through
+  :func:`repro.crypto.fast.ghash_hpower.ghash_blocks_hpower` with the
+  batch's shared subkey tables.
+
+Packet *data*/*aad* accept scatter-gather form: either one bytes-like
+or a sequence of segments that are joined without caller-side copies.
+Every output is byte-identical to the sequential one-call APIs (and so
+to the reference implementations); the equivalence suite pins
+batch == sequential == reference across modes, packet counts and
+ragged length mixes.
+"""
+
+from __future__ import annotations
+
+import hmac
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.crypto.fast import aes_vector
+from repro.crypto.fast.aes_ttable import encrypt_words_tt, expand_key_cached
+from repro.crypto.fast.bulk import (
+    BLOCK_BYTES,
+    KeyOrSchedule,
+    Schedule,
+    _gcm_j0_int,
+    _ghash_aad_ct,
+    _inc32,
+    _schedule,
+    ccm_open,
+    ccm_seal,
+    gcm_open,
+    gcm_seal,
+    xor_data,
+)
+from repro.errors import BlockSizeError, TagError
+from repro.utils.bytesops import pad_zeros
+
+try:  # pragma: no cover - exercised implicitly by every import
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is present in CI
+    _np = None
+
+HAVE_NUMPY = _np is not None
+
+#: Batches narrower than this run the scalar paths (numpy dispatch
+#: overhead beats the lane win below it).
+MIN_LANES = 8
+
+Buffers = Union[bytes, bytearray, memoryview, Sequence[bytes]]
+
+#: ``(initial_counter, inc_bits, nblocks)`` — one packet's counter run.
+_CounterSpec = Tuple[int, int, int]
+
+_ZERO_IV = b"\x00" * BLOCK_BYTES
+
+
+def gather(data: Buffers) -> bytes:
+    """Coalesce a scatter-gather buffer list into one bytes object."""
+    if isinstance(data, (bytes, bytearray, memoryview)):
+        return bytes(data)
+    return b"".join(bytes(segment) for segment in data)
+
+
+# -- lane-parallel CBC-MAC -------------------------------------------------
+
+
+def _lane_order(messages: Sequence[bytes]) -> Tuple[List[int], List[int]]:
+    """Lanes sorted by descending block count (ragged retirement order)."""
+    counts = [len(m) // BLOCK_BYTES for m in messages]
+    order = sorted(range(len(messages)), key=lambda i: (-counts[i], i))
+    return order, counts
+
+
+def _cbc_mac_lanes_vector(
+    round_keys: Schedule, messages: Sequence[bytes], iv: bytes
+) -> List[bytes]:
+    """All chains as lanes of one packed state; shorter lanes retire."""
+    from bisect import bisect_left
+
+    order, counts = _lane_order(messages)
+    lanes = len(messages)
+    sorted_negated = [-counts[i] for i in order]
+    max_blocks = counts[order[0]]
+    blocks = _np.zeros((max_blocks, 4, lanes), dtype=_np.uint32)
+    for rank, index in enumerate(order):
+        words = _np.frombuffer(messages[index], dtype=">u4").reshape(-1, 4)
+        blocks[: counts[index], :, rank] = words
+    state = _np.repeat(
+        _np.frombuffer(iv, dtype=">u4").astype(_np.uint32).reshape(4, 1),
+        lanes,
+        axis=1,
+    )
+    for step in range(max_blocks):
+        active = bisect_left(sorted_negated, -step)
+        state[:, :active] = aes_vector.encrypt_state_vector(
+            state[:, :active] ^ blocks[step, :, :active], round_keys
+        )
+    raw = aes_vector.state_to_bytes(state)
+    macs: List[Optional[bytes]] = [None] * lanes
+    for rank, index in enumerate(order):
+        macs[index] = raw[BLOCK_BYTES * rank : BLOCK_BYTES * (rank + 1)]
+    return macs
+
+
+def _cbc_mac_lanes_scalar(
+    round_keys: Schedule, messages: Sequence[bytes], iv: bytes
+) -> List[bytes]:
+    """Round-robin the lanes through the scalar T-table round.
+
+    Same ragged-lane structure as the vector path (lane *i* absorbs its
+    block *t* before any lane absorbs block *t+1*), so the fallback and
+    the vector engine walk the batch in the same order.
+    """
+    order, counts = _lane_order(messages)
+    states = [int.from_bytes(iv, "big")] * len(messages)
+    max_blocks = counts[order[0]] if order else 0
+    for step in range(max_blocks):
+        start = BLOCK_BYTES * step
+        for index in order:
+            if counts[index] <= step:
+                break  # descending order: every later lane retired too
+            x = states[index] ^ int.from_bytes(
+                messages[index][start : start + BLOCK_BYTES], "big"
+            )
+            o0, o1, o2, o3 = encrypt_words_tt(
+                (x >> 96) & 0xFFFFFFFF,
+                (x >> 64) & 0xFFFFFFFF,
+                (x >> 32) & 0xFFFFFFFF,
+                x & 0xFFFFFFFF,
+                round_keys,
+            )
+            states[index] = (o0 << 96) | (o1 << 64) | (o2 << 32) | o3
+    return [state.to_bytes(BLOCK_BYTES, "big") for state in states]
+
+
+def cbc_mac_many(
+    key_or_schedule: KeyOrSchedule,
+    messages: Sequence[bytes],
+    iv: bytes = _ZERO_IV,
+) -> List[bytes]:
+    """CBC-MAC every message of a same-key batch, lane-parallel.
+
+    Byte-identical to mapping :func:`repro.crypto.fast.bulk
+    .cbc_mac_fast` over *messages*; the batch form exists because the
+    per-message feedback chain is the serialising half of CCM.
+    """
+    if len(iv) != BLOCK_BYTES:
+        raise BlockSizeError(f"CBC-MAC IV must be 16 bytes, got {len(iv)}")
+    for message in messages:
+        if len(message) % BLOCK_BYTES != 0:
+            raise BlockSizeError(
+                f"CBC-MAC input length {len(message)} is not a multiple of 16"
+            )
+        if not message:
+            raise BlockSizeError("CBC-MAC requires at least one block")
+    if not messages:
+        return []
+    round_keys = _schedule(key_or_schedule)
+    if HAVE_NUMPY and len(messages) >= MIN_LANES:
+        return _cbc_mac_lanes_vector(round_keys, messages, iv)
+    return _cbc_mac_lanes_scalar(round_keys, messages, iv)
+
+
+# -- fused counter keystreams ----------------------------------------------
+
+
+def _fused_keystream(
+    round_keys: Schedule, specs: Sequence[_CounterSpec]
+) -> List[bytes]:
+    """Keystream for every counter run in one packed encryption sweep.
+
+    Each spec is ``(initial_counter, inc_bits, nblocks)`` with the low
+    *inc_bits* bits incrementing per block (the
+    :func:`repro.crypto.fast.bulk.ctr_stream` semantics, inc widths up
+    to 64 bits — GCM's inc32 and CCM's 8q-bit fields both qualify).
+    """
+    from repro.crypto.fast.bulk import ctr_stream
+
+    if not (HAVE_NUMPY and sum(spec[2] for spec in specs) >= MIN_LANES):
+        return [
+            ctr_stream(round_keys, c0.to_bytes(BLOCK_BYTES, "big"), nblocks, inc_bits)
+            for c0, inc_bits, nblocks in specs
+        ]
+    total = sum(spec[2] for spec in specs)
+    state = _np.empty((4, total), dtype=_np.uint32)
+    offset = 0
+    for c0, inc_bits, nblocks in specs:
+        if nblocks == 0:
+            continue
+        mask = (1 << inc_bits) - 1
+        hi = c0 >> inc_bits << inc_bits
+        lows = _np.uint64(c0 & mask) + _np.arange(nblocks, dtype=_np.uint64)
+        if inc_bits < 64:
+            lows &= _np.uint64(mask)
+        lane = slice(offset, offset + nblocks)
+        state[0, lane] = (hi >> 96) & 0xFFFFFFFF
+        state[1, lane] = (hi >> 64) & 0xFFFFFFFF
+        if inc_bits <= 32:
+            state[2, lane] = (hi >> 32) & 0xFFFFFFFF
+            state[3, lane] = _np.uint32(hi & 0xFFFFFFFF) | lows.astype(_np.uint32)
+        else:
+            state[2, lane] = _np.uint32((hi >> 32) & 0xFFFFFFFF) | (
+                lows >> _np.uint64(32)
+            ).astype(_np.uint32)
+            state[3, lane] = lows.astype(_np.uint32)
+        offset += nblocks
+    raw = aes_vector.state_to_bytes(
+        aes_vector.encrypt_state_vector(state, round_keys)
+    )
+    streams = []
+    offset = 0
+    for _, _, nblocks in specs:
+        streams.append(raw[BLOCK_BYTES * offset : BLOCK_BYTES * (offset + nblocks)])
+        offset += nblocks
+    return streams
+
+
+# -- GCM / GMAC ------------------------------------------------------------
+
+
+def _gcm_tag_hpower(
+    h: int, j0_mask: bytes, aad: bytes, ciphertext: bytes, tag_length: int
+) -> bytes:
+    """GHASH(aad, ct, lengths) xor E(J_0), H-power folded."""
+    acc = _ghash_aad_ct(h, aad, ciphertext)
+    return xor_data(acc.to_bytes(BLOCK_BYTES, "big"), j0_mask)[:tag_length]
+
+
+def _gcm_prepare(
+    key: bytes, packets: Sequence[Sequence], aad_index: int
+) -> Tuple[Schedule, int, List[bytes], List[bytes], List[bytes], List[bytes]]:
+    """Shared GCM batch front end: schedule, H, keystreams, tag masks.
+
+    Packet field 0 is the IV and field 1 the data (plaintext for seal,
+    ciphertext for open); *aad_index* locates the optional aad (seal
+    packets carry it at 2, open packets at 3 after the tag).
+    """
+    round_keys = expand_key_cached(bytes(key))
+    from repro.crypto.fast.aes_ttable import encrypt_block_tt
+
+    h = int.from_bytes(encrypt_block_tt(_ZERO_IV, round_keys), "big")
+    ivs = [bytes(packet[0]) for packet in packets]
+    datas = [gather(packet[1]) for packet in packets]
+    aads = [
+        gather(packet[aad_index]) if len(packet) > aad_index else b""
+        for packet in packets
+    ]
+    j0s = [_gcm_j0_int(h, iv) for iv in ivs]
+    specs: List[_CounterSpec] = [
+        (_inc32(j0), 32, -(-len(data) // BLOCK_BYTES))
+        for j0, data in zip(j0s, datas)
+    ]
+    specs += [(j0, 32, 1) for j0 in j0s]  # E(J_0) tag masks, same sweep
+    streams = _fused_keystream(round_keys, specs)
+    keystreams = streams[: len(packets)]
+    masks = streams[len(packets) :]
+    return round_keys, h, datas, aads, keystreams, masks
+
+
+def gcm_seal_many(
+    key: bytes,
+    packets: Sequence[Sequence],
+    tag_length: int = 16,
+) -> List[Tuple[bytes, bytes]]:
+    """Seal a same-key GCM batch; returns ``[(ciphertext, tag), ...]``.
+
+    *packets* is a sequence of ``(iv, plaintext)`` or ``(iv, plaintext,
+    aad)``; plaintext and aad may be scatter-gather segment lists.
+    Byte-identical to calling :func:`repro.crypto.fast.bulk.gcm_seal`
+    per packet.
+    """
+    from repro.crypto.modes.gcm import VALID_TAG_LENGTHS
+
+    if tag_length not in VALID_TAG_LENGTHS:
+        raise TagError(
+            f"GCM tag length must be one of {VALID_TAG_LENGTHS}, got {tag_length}"
+        )
+    if not packets:
+        return []
+    if not HAVE_NUMPY:
+        return [
+            gcm_seal(key, bytes(p[0]), gather(p[1]), gather(p[2]) if len(p) > 2 else b"", tag_length)
+            for p in packets
+        ]
+    _, h, datas, aads, keystreams, masks = _gcm_prepare(key, packets, 2)
+    results = []
+    for data, aad, stream, mask in zip(datas, aads, keystreams, masks):
+        ciphertext = xor_data(data, stream)
+        tag = _gcm_tag_hpower(h, mask, aad, ciphertext, tag_length)
+        results.append((ciphertext, tag))
+    return results
+
+
+def gcm_open_many(
+    key: bytes,
+    packets: Sequence[Sequence],
+) -> List[Optional[bytes]]:
+    """Open a same-key GCM batch; ``None`` marks an authentication failure.
+
+    *packets* is a sequence of ``(iv, ciphertext, tag)`` or ``(iv,
+    ciphertext, tag, aad)``.  Failed packets release no plaintext;
+    every other packet still opens (per-packet isolation, the batch
+    analogue of the core purging one output FIFO).
+    """
+    from repro.crypto.modes.gcm import VALID_TAG_LENGTHS
+
+    if not packets:
+        return []
+    for packet in packets:
+        if len(bytes(packet[2])) not in VALID_TAG_LENGTHS:
+            raise TagError(f"GCM tag length {len(bytes(packet[2]))} is invalid")
+    if not HAVE_NUMPY:
+        return [
+            _open_one(
+                gcm_open,
+                key,
+                bytes(p[0]),
+                gather(p[1]),
+                bytes(p[2]),
+                gather(p[3]) if len(p) > 3 else b"",
+            )
+            for p in packets
+        ]
+    _, h, ciphertexts, aads, keystreams, masks = _gcm_prepare(key, packets, 3)
+    results: List[Optional[bytes]] = []
+    for packet, ciphertext, aad, stream, mask in zip(
+        packets, ciphertexts, aads, keystreams, masks
+    ):
+        tag = bytes(packet[2])
+        expected = _gcm_tag_hpower(h, mask, aad, ciphertext, len(tag))
+        if hmac.compare_digest(expected, tag):
+            results.append(xor_data(ciphertext, stream))
+        else:
+            results.append(None)
+    return results
+
+
+def gmac_many(
+    key: bytes, packets: Sequence[Sequence], tag_length: int = 16
+) -> List[bytes]:
+    """GMAC tags for a batch of ``(iv, aad)`` packets (empty plaintext)."""
+    sealed = gcm_seal_many(
+        key, [(packet[0], b"", packet[1]) for packet in packets], tag_length
+    )
+    return [tag for _, tag in sealed]
+
+
+# -- CCM -------------------------------------------------------------------
+
+
+def _ccm_prepare(
+    key: bytes, nonces: Sequence[bytes], datas: Sequence[bytes]
+) -> Tuple[Schedule, List[bytes], List[bytes]]:
+    """Schedule plus every packet's ``(S_0, keystream)`` in one sweep."""
+    from repro.crypto.modes.ccm import format_counter_block
+
+    round_keys = expand_key_cached(bytes(key))
+    specs: List[_CounterSpec] = []
+    for nonce, data in zip(nonces, datas):
+        a0 = int.from_bytes(format_counter_block(nonce, 0), "big")
+        nblocks = -(-len(data) // BLOCK_BYTES)
+        specs.append((a0, 8 * (15 - len(nonce)), nblocks + 1))  # A_0..A_m
+    runs = _fused_keystream(round_keys, specs)
+    s0s = [run[:BLOCK_BYTES] for run in runs]
+    streams = [run[BLOCK_BYTES:] for run in runs]
+    return round_keys, s0s, streams
+
+
+def ccm_seal_many(
+    key: bytes,
+    packets: Sequence[Sequence],
+    tag_length: int = 16,
+) -> List[Tuple[bytes, bytes]]:
+    """Seal a same-key CCM batch; returns ``[(ciphertext, tag), ...]``.
+
+    *packets* is a sequence of ``(nonce, plaintext)`` or ``(nonce,
+    plaintext, aad)`` (scatter-gather allowed).  The CBC-MAC half runs
+    lane-parallel across the batch; byte-identical to per-packet
+    :func:`repro.crypto.fast.bulk.ccm_seal`.
+    """
+    from repro.crypto.modes.ccm import (
+        _check_params,
+        format_associated_data,
+        format_b0,
+    )
+
+    if not packets:
+        return []
+    if not HAVE_NUMPY:
+        return [
+            ccm_seal(key, bytes(p[0]), gather(p[1]), gather(p[2]) if len(p) > 2 else b"", tag_length)
+            for p in packets
+        ]
+    nonces = [bytes(packet[0]) for packet in packets]
+    datas = [gather(packet[1]) for packet in packets]
+    aads = [gather(packet[2]) if len(packet) > 2 else b"" for packet in packets]
+    blobs = []
+    for nonce, data, aad in zip(nonces, datas, aads):
+        _check_params(nonce, tag_length, len(data))
+        blobs.append(
+            format_b0(nonce, len(aad), len(data), tag_length)
+            + format_associated_data(aad)
+            + pad_zeros(data, BLOCK_BYTES)
+        )
+    round_keys, s0s, streams = _ccm_prepare(key, nonces, datas)
+    macs = cbc_mac_many(round_keys, blobs)
+    results = []
+    for data, mac, s0, stream in zip(datas, macs, s0s, streams):
+        ciphertext = xor_data(data, stream) if data else b""
+        results.append((ciphertext, xor_data(mac, s0)[:tag_length]))
+    return results
+
+
+def ccm_open_many(
+    key: bytes,
+    packets: Sequence[Sequence],
+) -> List[Optional[bytes]]:
+    """Open a same-key CCM batch; ``None`` marks an authentication failure.
+
+    *packets* is a sequence of ``(nonce, ciphertext, tag)`` or
+    ``(nonce, ciphertext, tag, aad)``.
+    """
+    from repro.crypto.modes.ccm import (
+        _check_params,
+        format_associated_data,
+        format_b0,
+    )
+
+    if not packets:
+        return []
+    if not HAVE_NUMPY:
+        return [
+            _open_one(
+                ccm_open,
+                key,
+                bytes(p[0]),
+                gather(p[1]),
+                bytes(p[2]),
+                gather(p[3]) if len(p) > 3 else b"",
+            )
+            for p in packets
+        ]
+    nonces = [bytes(packet[0]) for packet in packets]
+    ciphertexts = [gather(packet[1]) for packet in packets]
+    tags = [bytes(packet[2]) for packet in packets]
+    aads = [gather(packet[3]) if len(packet) > 3 else b"" for packet in packets]
+    for nonce, ciphertext, tag in zip(nonces, ciphertexts, tags):
+        _check_params(nonce, len(tag), len(ciphertext))
+    round_keys, s0s, streams = _ccm_prepare(key, nonces, ciphertexts)
+    plaintexts = [
+        xor_data(ciphertext, stream) if ciphertext else b""
+        for ciphertext, stream in zip(ciphertexts, streams)
+    ]
+    blobs = [
+        format_b0(nonce, len(aad), len(plaintext), len(tag))
+        + format_associated_data(aad)
+        + pad_zeros(plaintext, BLOCK_BYTES)
+        for nonce, aad, plaintext, tag in zip(nonces, aads, plaintexts, tags)
+    ]
+    macs = cbc_mac_many(round_keys, blobs)
+    results: List[Optional[bytes]] = []
+    for mac, s0, tag, plaintext in zip(macs, s0s, tags, plaintexts):
+        expected = xor_data(mac, s0)[: len(tag)]
+        if hmac.compare_digest(expected, tag):
+            results.append(plaintext)
+        else:
+            results.append(None)
+    return results
+
+
+def _open_one(open_fn, key, nonce, ciphertext, tag, aad) -> Optional[bytes]:
+    """Per-packet open for the scalar fallback (None on auth failure)."""
+    from repro.errors import AuthenticationFailure
+
+    try:
+        return open_fn(key, nonce, ciphertext, tag, aad)
+    except AuthenticationFailure:
+        return None

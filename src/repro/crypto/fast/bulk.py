@@ -14,6 +14,7 @@ equivalence suite holds the two byte-identical on every vector.
 
 from __future__ import annotations
 
+import hmac
 from typing import Sequence, Tuple, Union
 
 from repro.crypto.fast.aes_ttable import (
@@ -22,7 +23,7 @@ from repro.crypto.fast.aes_ttable import (
     expand_key_cached,
 )
 from repro.crypto.fast.aes_vector import ctr_keystream_vector, encrypt_blocks_vector
-from repro.crypto.fast.gf128_tables import ghash_blocks_tabulated
+from repro.crypto.fast.ghash_hpower import ghash_blocks_hpower
 from repro.errors import AuthenticationFailure, BlockSizeError, NonceError, TagError
 from repro.utils.bytesops import pad_zeros, xor_bytes
 
@@ -164,9 +165,22 @@ def _gcm_j0_int(h: int, iv: bytes) -> int:
         raise NonceError("GCM IV must be non-empty")
     if len(iv) == 12:
         return (int.from_bytes(iv, "big") << 32) | 1
-    acc = ghash_blocks_tabulated(h, 0, pad_zeros(iv, BLOCK_BYTES))
+    acc = ghash_blocks_hpower(h, 0, pad_zeros(iv, BLOCK_BYTES))
     length_block = (8 * len(iv)).to_bytes(16, "big")
-    return ghash_blocks_tabulated(h, acc, length_block)
+    return ghash_blocks_hpower(h, acc, length_block)
+
+
+def _ghash_aad_ct(h: int, aad: bytes, ciphertext: bytes) -> int:
+    """GHASH accumulator over padded aad, padded ciphertext and lengths."""
+    acc = 0
+    if aad:
+        acc = ghash_blocks_hpower(h, acc, pad_zeros(aad, BLOCK_BYTES))
+    if ciphertext:
+        acc = ghash_blocks_hpower(h, acc, pad_zeros(ciphertext, BLOCK_BYTES))
+    length_block = (8 * len(aad)).to_bytes(8, "big") + (
+        8 * len(ciphertext)
+    ).to_bytes(8, "big")
+    return ghash_blocks_hpower(h, acc, length_block)
 
 
 def _gcm_tag(
@@ -177,15 +191,7 @@ def _gcm_tag(
     ciphertext: bytes,
     tag_length: int,
 ) -> bytes:
-    acc = 0
-    if aad:
-        acc = ghash_blocks_tabulated(h, acc, pad_zeros(aad, BLOCK_BYTES))
-    if ciphertext:
-        acc = ghash_blocks_tabulated(h, acc, pad_zeros(ciphertext, BLOCK_BYTES))
-    length_block = (8 * len(aad)).to_bytes(8, "big") + (
-        8 * len(ciphertext)
-    ).to_bytes(8, "big")
-    acc = ghash_blocks_tabulated(h, acc, length_block)
+    acc = _ghash_aad_ct(h, aad, ciphertext)
     ej0 = int.from_bytes(
         encrypt_block_tt(j0.to_bytes(BLOCK_BYTES, "big"), round_keys), "big"
     )
@@ -240,7 +246,7 @@ def gcm_open(
     )
     j0 = _gcm_j0_int(h, iv)
     expected = _gcm_tag(round_keys, h, j0, aad, ciphertext, len(tag))
-    if expected != tag:
+    if not hmac.compare_digest(expected, tag):
         raise AuthenticationFailure("GCM tag verification failed")
     icb = _inc32(j0).to_bytes(BLOCK_BYTES, "big")
     return ctr_xcrypt_bulk(round_keys, icb, ciphertext, inc_bits=32)
@@ -323,7 +329,7 @@ def ccm_open(
     )
     t_full = cbc_mac_fast(round_keys, b)
     expected = xor_data(t_full, s0)[:tag_length]
-    if expected != tag:
+    if not hmac.compare_digest(expected, tag):
         raise AuthenticationFailure("CCM tag verification failed")
     return plaintext
 

@@ -43,12 +43,18 @@ def _mul_x8(v: int) -> int:
     return (v >> 8) ^ _R_BYTE[v & 255]
 
 
-@lru_cache(maxsize=64)
-def ghash_tables(h: int) -> Tuple[Tuple[int, ...], ...]:
-    """Shoup tables for subkey *h*: ``tables[i][b]`` is the product of
-    *h* with byte value *b* placed at byte position *i* (MSB first).
+#: Capacity of the per-subkey Shoup-table memo.  Key-churn workloads
+#: cycle through arbitrarily many subkeys; the LRU bound keeps the
+#: process footprint fixed (each table set is 16 x 256 128-bit ints).
+GHASH_TABLE_SLOTS = 64
 
-    16 x 256 entries; built once per subkey and memoized.
+
+def build_ghash_tables(h: int) -> Tuple[Tuple[int, ...], ...]:
+    """Construct the Shoup tables for subkey *h* (uncached).
+
+    :func:`ghash_tables` wraps this in the per-subkey LRU; the H-power
+    engine (:mod:`repro.crypto.fast.ghash_hpower`) calls it directly so
+    building ``H^1..H^k`` does not churn the single-subkey cache.
     """
     if not 0 <= h <= MASK128:
         raise ValueError("subkey must be a 128-bit non-negative integer")
@@ -68,6 +74,17 @@ def ghash_tables(h: int) -> Tuple[Tuple[int, ...], ...]:
         prev = tables[-1]
         tables.append([_mul_x8(v) for v in prev])
     return tuple(tuple(r) for r in tables)
+
+
+@lru_cache(maxsize=GHASH_TABLE_SLOTS)
+def ghash_tables(h: int) -> Tuple[Tuple[int, ...], ...]:
+    """Shoup tables for subkey *h*: ``tables[i][b]`` is the product of
+    *h* with byte value *b* placed at byte position *i* (MSB first).
+
+    16 x 256 entries; built once per subkey and memoized (bounded LRU,
+    :data:`GHASH_TABLE_SLOTS` subkeys).
+    """
+    return build_ghash_tables(h)
 
 
 def gf128_mul_tabulated(x: int, y: int) -> int:

@@ -1,0 +1,188 @@
+"""H-power GHASH: fold k blocks per Horner step.
+
+The GHASH chain ``Y_i = (Y_{i-1} xor X_i) * H`` is a Horner evaluation
+of the polynomial ``sum X_i * H^(n-i+1)``, so any k consecutive blocks
+can be absorbed in one step once the powers ``H^1..H^k`` are known:
+
+    Y' = (Y xor B_0)*H^k  xor  B_1*H^(k-1)  xor ... xor  B_{k-1}*H
+
+The k products are mutually independent — this is the software shape of
+the paper's observation that a GHASH tree of multipliers trades area
+for latency, with SIMD gathers standing in for parallel digit-serial
+cores.  Each power gets its own Shoup byte tables
+(:mod:`repro.crypto.fast.gf128_tables`), so one fold is ``16*k``
+independent table lookups:
+
+- **numpy variant** — the per-power tables live in two ``(k, 16, 256)``
+  ``uint64`` arrays (high/low halves of each 128-bit entry); a whole
+  fold is two fancy-indexed gathers over a ``(k, 16)`` index grid plus
+  two XOR reductions.
+- **pure-Python fold** — walks the same per-power tables with plain
+  lookups.  It exists for the no-numpy environments and for the
+  equivalence tests; per block it costs the same 16 lookups as the
+  serial tabulated chain, so the scalar dispatcher prefers the chain.
+
+Both variants are byte-identical to the serial chain; the dispatcher
+(:func:`ghash_blocks_hpower`) picks per message size and numpy
+availability.  Table sets are LRU-memoized per ``(subkey, k)`` and
+dropped by :func:`repro.crypto.fast.clear_caches`.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import List, Tuple
+
+from repro.crypto.fast.gf128_tables import (
+    build_ghash_tables,
+    gf128_mul_tabulated,
+    ghash_blocks_tabulated,
+)
+from repro.crypto.gf128 import MASK128
+
+try:  # pragma: no cover - exercised implicitly by every import
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is present in CI
+    _np = None
+
+HAVE_NUMPY = _np is not None
+
+BLOCK_BYTES = 16
+
+#: Fold width (blocks per Horner step) for the vectorised engine.
+DEFAULT_FOLD = 64
+
+#: Fold width cap for the pure-Python fold: per-power tables are ~16 x
+#: 256 128-bit ints each, and the scalar fold gains nothing from wide k,
+#: so the cap bounds the memo footprint.
+PY_FOLD_MAX = 8
+
+#: Messages shorter than this many blocks stay on the serial tabulated
+#: chain (table-gather setup would dominate).
+MIN_FOLD_BLOCKS = 16
+
+#: Capacity of the per-(subkey, fold) H-power memo caches.  One numpy
+#: entry at the default fold is ~4 MiB (64 x 16 x 256 x 16 bytes), so
+#: the bound keys the worst-case footprint, not the key-churn rate.
+HPOWER_SLOTS = 8
+
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+
+def _powers(h: int, k: int) -> List[int]:
+    """``[H^1, H^2, .., H^k]`` via the tabulated multiplier."""
+    if not 0 <= h <= MASK128:
+        raise ValueError("subkey must be a 128-bit non-negative integer")
+    if k < 1:
+        raise ValueError(f"fold width must be >= 1, got {k}")
+    powers = [h]
+    for _ in range(k - 1):
+        powers.append(gf128_mul_tabulated(powers[-1], h))
+    return powers
+
+
+@lru_cache(maxsize=HPOWER_SLOTS)
+def hpower_tables(h: int, k: int = PY_FOLD_MAX) -> Tuple[Tuple[Tuple[int, ...], ...], ...]:
+    """Per-power Shoup tables: ``tables[p-1]`` multiplies by ``H^p``.
+
+    Pure-Python representation (tuples of 128-bit ints), used by the
+    scalar fold; bounded LRU per ``(subkey, k)``.
+    """
+    return tuple(build_ghash_tables(p) for p in _powers(h, k))
+
+
+@lru_cache(maxsize=HPOWER_SLOTS)
+def hpower_tables_vec(h: int, k: int = DEFAULT_FOLD):
+    """The H-power tables as two ``(k, 16, 256)`` uint64 numpy arrays.
+
+    ``hi[p-1, pos, b]`` / ``lo[p-1, pos, b]`` hold the high/low halves
+    of byte value *b* at byte position *pos* multiplied by ``H^p``.
+    The per-power Python tables are built transiently and discarded —
+    only the packed arrays stay resident in the LRU.
+    """
+    if not HAVE_NUMPY:
+        raise RuntimeError("hpower_tables_vec requires numpy")
+    hi = _np.empty((k, 16, 256), dtype=_np.uint64)
+    lo = _np.empty((k, 16, 256), dtype=_np.uint64)
+    for index, power in enumerate(_powers(h, k)):
+        flat = [value for row in build_ghash_tables(power) for value in row]
+        hi[index] = _np.array(
+            [value >> 64 for value in flat], dtype=_np.uint64
+        ).reshape(16, 256)
+        lo[index] = _np.array(
+            [value & _MASK64 for value in flat], dtype=_np.uint64
+        ).reshape(16, 256)
+    return hi, lo
+
+
+def clear_hpower_caches() -> None:
+    """Drop both H-power memos (hooked into ``fast.clear_caches``)."""
+    hpower_tables.cache_clear()
+    hpower_tables_vec.cache_clear()
+
+
+def _fold_python(h: int, acc: int, data: bytes, fold: int) -> int:
+    """Scalar k-block Horner fold (the pure-Python fallback)."""
+    k = max(1, min(fold, PY_FOLD_MAX))
+    tables = hpower_tables(h, k)
+    nblocks = len(data) // BLOCK_BYTES
+    offset = 0
+    group = nblocks % k or k  # ragged head, then full k-groups
+    while offset < nblocks:
+        acc_next = 0
+        for j in range(group):
+            start = BLOCK_BYTES * (offset + j)
+            x = int.from_bytes(data[start : start + BLOCK_BYTES], "big")
+            if j == 0:
+                x ^= acc
+            rows = tables[group - j - 1]
+            shift = 120
+            for row in rows:
+                acc_next ^= row[(x >> shift) & 255]
+                shift -= 8
+        acc = acc_next
+        offset += group
+        group = k
+    return acc
+
+
+def _fold_vector(h: int, acc: int, data: bytes, fold: int) -> int:
+    """Vectorised fold: two gathers + two XOR reductions per k-group."""
+    hi, lo = hpower_tables_vec(h, fold)
+    nblocks = len(data) // BLOCK_BYTES
+    buf = _np.frombuffer(data, dtype=_np.uint8).reshape(nblocks, BLOCK_BYTES)
+    positions = _np.arange(16)
+    offset = 0
+    group = nblocks % fold or fold
+    lanes = _np.arange(group - 1, -1, -1).reshape(group, 1)
+    while offset < nblocks:
+        x = buf[offset : offset + group]
+        if acc:
+            x = x.copy()
+            x[0] ^= _np.frombuffer(acc.to_bytes(16, "big"), dtype=_np.uint8)
+        acc_hi = int(_np.bitwise_xor.reduce(hi[lanes, positions, x], axis=None))
+        acc_lo = int(_np.bitwise_xor.reduce(lo[lanes, positions, x], axis=None))
+        acc = (acc_hi << 64) | acc_lo
+        offset += group
+        if group != fold:
+            group = fold
+            lanes = _np.arange(fold - 1, -1, -1).reshape(fold, 1)
+    return acc
+
+
+def ghash_blocks_hpower(
+    h: int, acc: int, data: bytes, fold: int = DEFAULT_FOLD
+) -> int:
+    """Absorb whole 16-byte blocks of *data* with H-power folding.
+
+    Byte-identical to :func:`ghash_blocks_tabulated`; dispatches to the
+    vectorised fold for long-enough messages when numpy is present, and
+    to the serial tabulated chain otherwise (the scalar fold pays the
+    same 16 lookups per block as the chain, so it is kept for explicit
+    use and the fallback tests rather than the scalar hot path).
+    """
+    if len(data) // BLOCK_BYTES < MIN_FOLD_BLOCKS or fold < 2:
+        return ghash_blocks_tabulated(h, acc, data)
+    if HAVE_NUMPY:
+        return _fold_vector(h, acc, data, fold)
+    return ghash_blocks_tabulated(h, acc, data)

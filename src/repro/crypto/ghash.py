@@ -13,6 +13,7 @@ from __future__ import annotations
 from repro.errors import BlockSizeError
 from repro.crypto.fast import fast_enabled
 from repro.crypto.fast.gf128_tables import ghash_blocks_tabulated
+from repro.crypto.fast.ghash_hpower import ghash_blocks_hpower
 from repro.crypto.gf128 import HW_DIGIT_BITS, gf128_mul, gf128_mul_digit_serial
 
 BLOCK_BYTES = 16
@@ -74,7 +75,9 @@ class GHash:
                 f"data length {len(data)} is not a multiple of 16"
             )
         if self._use_fast:
-            self._acc = ghash_blocks_tabulated(self._h, self._acc, data)
+            # Long absorbs fold k blocks per step over H-power tables;
+            # short ones stay on the serial tabulated chain.
+            self._acc = ghash_blocks_hpower(self._h, self._acc, data)
             self.blocks += len(data) // BLOCK_BYTES
             return self
         for i in range(0, len(data), BLOCK_BYTES):

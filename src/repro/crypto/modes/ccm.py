@@ -15,6 +15,7 @@ device and this reference agree bit-for-bit.
 
 from __future__ import annotations
 
+import hmac
 from typing import Tuple
 
 from repro.crypto.aes import AES
@@ -173,6 +174,6 @@ def ccm_decrypt(
     s0 = cipher.encrypt_block(format_counter_block(nonce, 0))
     expected = xor_bytes(t_full, s0)[:tag_length]
 
-    if expected != tag:
+    if not hmac.compare_digest(expected, tag):
         raise AuthenticationFailure("CCM tag verification failed")
     return plaintext

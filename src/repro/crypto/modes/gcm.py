@@ -10,6 +10,7 @@ SAES/XOR/SGFM/INC pipeline.
 
 from __future__ import annotations
 
+import hmac
 from typing import Tuple
 
 from repro.crypto.aes import AES
@@ -137,6 +138,6 @@ def gcm_decrypt(
     h = cipher.encrypt_block(b"\x00" * BLOCK_BYTES)
     j0 = gcm_j0(cipher, iv, use_fast=False)
     expected = _ghash_tag(cipher, h, j0, aad, ciphertext, len(tag), use_fast=False)
-    if expected != tag:
+    if not hmac.compare_digest(expected, tag):
         raise AuthenticationFailure("GCM tag verification failed")
     return _gctr(cipher, inc32(j0), ciphertext)

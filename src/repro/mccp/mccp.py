@@ -9,15 +9,29 @@ scheduler, crossbar, task scheduler — and exposes both interfaces:
   return register out, charged scheduler overhead), and
 - **convenience methods** (:meth:`open_channel`, :meth:`submit`, …)
   used by the communication controller and the benchmarks.
+
+It also exposes the **batched submission path**
+(:meth:`enqueue_packet` / :meth:`flush_channel` /
+:meth:`flush_batches`): same-key packets queue on their channel and
+drain :attr:`Channel.coalesce_limit` at a time through the multi-packet
+batch engine (:mod:`repro.crypto.fast.batch`) — lane-parallel CBC-MAC,
+fused counter sweeps, H-power GHASH.  This is the functional software
+analogue of the paper's many-channel pipelining, not the cycle model:
+it produces the same bytes the simulated cores would, without charging
+simulated time (use :meth:`submit` for cycle-accurate runs).
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.crypto_core import CryptoCore
-from repro.core.params import Algorithm
+from repro.core.params import Algorithm, Direction
+from repro.crypto.modes.ccm import _check_params as _ccm_check_params
+from repro.crypto.modes.gcm import VALID_TAG_LENGTHS as _GCM_VALID_TAG_LENGTHS
 from repro.errors import ChannelError, NoResourceError, ProtocolError
+from repro.mccp.channel import Channel, QueuedPacket
 from repro.mccp.crossbar import Crossbar
 from repro.mccp.instructions import (
     CloseInstr,
@@ -39,6 +53,24 @@ from repro.unit.timing import DEFAULT_TIMING, TimingModel
 
 #: The paper's implemented configuration.
 DEFAULT_CORE_COUNT = 4
+
+#: Algorithms the batched submission path can dispatch (GMAC rides GCM
+#: with an empty payload, matching the ENCRYPT instruction's
+#: authenticated-only form).
+BATCHABLE_ALGORITHMS = (Algorithm.GCM, Algorithm.CCM)
+
+
+@dataclass
+class BatchResult:
+    """Outcome of one packet dispatched through the batch engine."""
+
+    #: False when tag verification failed (DECRYPT only); no payload is
+    #: released in that case, mirroring the core purging its FIFO.
+    ok: bool
+    #: Ciphertext (ENCRYPT) or plaintext (DECRYPT, empty on failure).
+    payload: bytes
+    #: The freshly computed tag (ENCRYPT only).
+    tag: Optional[bytes] = None
 
 
 class Mccp:
@@ -165,6 +197,134 @@ class Mccp:
     ) -> PendingRequest:
         """ENCRYPT/DECRYPT + data upload entry point (see CommController)."""
         return self.scheduler.submit(channel_id, tasks, priority)
+
+    # -- batched submission path (software multi-packet fast path) -----------------
+
+    def enqueue_packet(
+        self,
+        channel_id: int,
+        data: bytes,
+        aad: bytes = b"",
+        direction: Direction = Direction.ENCRYPT,
+        nonce: Optional[bytes] = None,
+        tag: Optional[bytes] = None,
+    ) -> int:
+        """Queue one packet for batched dispatch; returns queue depth.
+
+        The caller owns the nonce (the communication controller issues
+        them; reusing one under the same key is a protocol violation
+        this layer cannot detect).  DECRYPT packets must carry the
+        received *tag*.  Nothing runs until :meth:`flush_channel` /
+        :meth:`flush_batches` drains the queue, so callers control the
+        coalescing window as well as the per-dispatch width
+        (:attr:`Channel.coalesce_limit`).
+        """
+        channel = self.scheduler.get_channel(channel_id)
+        if not channel.is_open:
+            raise ChannelError(f"channel {channel_id} is closed")
+        if channel.algorithm not in BATCHABLE_ALGORITHMS:
+            raise ProtocolError(
+                f"batched submission supports AEAD channels, "
+                f"not {channel.algorithm.name}"
+            )
+        if not nonce:
+            raise ProtocolError("batched packets need a caller-issued nonce")
+        if direction is Direction.DECRYPT:
+            if tag is None:
+                raise ProtocolError("DECRYPT packets must carry the received tag")
+            if len(tag) != channel.tag_length:
+                # Verifying against whatever length arrives would let a
+                # forger downgrade to the shortest valid tag.
+                raise ProtocolError(
+                    f"channel {channel_id} verifies {channel.tag_length}-byte "
+                    f"tags, got {len(tag)}"
+                )
+        if channel.algorithm is Algorithm.CCM:
+            # Reject bad nonce/payload sizes now: by flush time the batch
+            # has left the queue and an exception would drop its packets.
+            _ccm_check_params(bytes(nonce), channel.tag_length, len(data))
+        elif channel.tag_length not in _GCM_VALID_TAG_LENGTHS:
+            raise ProtocolError(
+                f"channel {channel_id} has GCM tag length "
+                f"{channel.tag_length}, valid: {_GCM_VALID_TAG_LENGTHS}"
+            )
+        return channel.enqueue(
+            QueuedPacket(
+                direction=direction,
+                nonce=bytes(nonce),
+                data=bytes(data),
+                aad=bytes(aad),
+                tag=None if tag is None else bytes(tag),
+            )
+        )
+
+    def flush_channel(self, channel_id: int) -> List[BatchResult]:
+        """Drain one channel's queue through the batch engine.
+
+        Packets dispatch in submission order, :attr:`Channel
+        .coalesce_limit` per batch; results come back in the same
+        order.  Channel statistics (``packets_processed``,
+        ``bytes_processed``, ``auth_failures``, ``stats['batches']``)
+        update as the paper's per-channel counters would.
+        """
+        channel = self.scheduler.get_channel(channel_id)
+        key = self.key_memory.fetch_for_scheduler(channel.key_id)
+        results: List[BatchResult] = []
+        while channel.pending:
+            batch = channel.take_batch()
+            results.extend(self._dispatch_batch(channel, key, batch))
+            channel.stats["batches"] = channel.stats.get("batches", 0) + 1
+        return results
+
+    def flush_batches(self) -> Dict[int, List[BatchResult]]:
+        """Flush every channel with queued packets; id -> results."""
+        return {
+            channel_id: self.flush_channel(channel_id)
+            for channel_id, channel in sorted(self.scheduler.channels.items())
+            if channel.pending
+        }
+
+    def _dispatch_batch(
+        self, channel: Channel, key: bytes, batch: Sequence[QueuedPacket]
+    ) -> List[BatchResult]:
+        """Run one coalesced batch; seals and opens each share a sweep."""
+        from repro.crypto.fast import batch as fast_batch
+
+        if channel.algorithm is Algorithm.GCM:
+            seal_many, open_many = fast_batch.gcm_seal_many, fast_batch.gcm_open_many
+        else:
+            seal_many, open_many = fast_batch.ccm_seal_many, fast_batch.ccm_open_many
+        seal_indices = [
+            i for i, p in enumerate(batch) if p.direction is Direction.ENCRYPT
+        ]
+        open_indices = [
+            i for i, p in enumerate(batch) if p.direction is Direction.DECRYPT
+        ]
+        sealed = seal_many(
+            key,
+            [(batch[i].nonce, batch[i].data, batch[i].aad) for i in seal_indices],
+            channel.tag_length,
+        )
+        opened = open_many(
+            key,
+            [
+                (batch[i].nonce, batch[i].data, batch[i].tag, batch[i].aad)
+                for i in open_indices
+            ],
+        )
+        results: List[Optional[BatchResult]] = [None] * len(batch)
+        for i, (ciphertext, tag) in zip(seal_indices, sealed):
+            results[i] = BatchResult(ok=True, payload=ciphertext, tag=tag)
+        for i, plaintext in zip(open_indices, opened):
+            results[i] = BatchResult(
+                ok=plaintext is not None, payload=plaintext or b""
+            )
+        for packet, result in zip(batch, results):
+            channel.packets_processed += 1
+            channel.bytes_processed += len(packet.data)
+            if not result.ok:
+                channel.auth_failures += 1
+        return results
 
     @property
     def idle_cores(self) -> int:

@@ -142,8 +142,17 @@ class TaskScheduler:
             raise ChannelError(
                 f"channel {channel_id} has {len(busy)} unfinished requests"
             )
+        if channel.pending:
+            raise ChannelError(
+                f"channel {channel_id} has {len(channel.pending)} packets "
+                "queued for batched dispatch (flush first)"
+            )
         channel.close()
         del self.channels[channel_id]
+
+    def get_channel(self, channel_id: int) -> Channel:
+        """Resolve an open channel id; raises :class:`ChannelError`."""
+        return self._channel(channel_id)
 
     def _channel(self, channel_id: int) -> Channel:
         try:

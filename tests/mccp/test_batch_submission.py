@@ -1,0 +1,189 @@
+"""The MCCP batched submission path (enqueue -> coalesce -> flush).
+
+The channel layer's batch path must produce exactly the reference
+crypto, honour the per-channel coalescing knob, keep per-packet auth
+failures isolated, and account statistics the way the per-packet path
+does.
+"""
+
+import random
+
+import pytest
+
+from repro.core.params import Algorithm, Direction
+from repro.crypto.modes.ccm import ccm_encrypt
+from repro.crypto.modes.gcm import gcm_encrypt
+from repro.crypto.modes.gmac import gmac
+from repro.errors import ChannelError, ProtocolError
+from repro.mccp.mccp import Mccp
+from repro.sim.kernel import Simulator
+
+
+@pytest.fixture
+def mccp():
+    device = Mccp(Simulator())
+    device.load_session_key(1, bytes(range(16)))
+    return device
+
+
+KEY = bytes(range(16))
+
+
+def _nonce(index: int, nbytes: int) -> bytes:
+    return (index + 1).to_bytes(nbytes, "big")
+
+
+def test_gcm_batch_matches_reference_and_coalesces(mccp):
+    channel = mccp.open_channel(Algorithm.GCM, 1)
+    channel.coalesce_limit = 4
+    rng = random.Random(0xA0)
+    payloads = [rng.randbytes(rng.choice((0, 60, 300, 2048))) for _ in range(11)]
+    for index, payload in enumerate(payloads):
+        depth = mccp.enqueue_packet(
+            channel.channel_id, payload, b"hdr", nonce=_nonce(index, 12)
+        )
+        assert depth == index + 1
+    assert channel.pending_count == 11
+    results = mccp.flush_channel(channel.channel_id)
+    assert channel.pending_count == 0
+    assert channel.stats["batches"] == 3  # 4 + 4 + 3 under the knob
+    for index, (payload, result) in enumerate(zip(payloads, results)):
+        expected = gcm_encrypt(KEY, _nonce(index, 12), payload, b"hdr", 16, False)
+        assert result.ok and (result.payload, result.tag) == expected
+    assert channel.packets_processed == 11
+    assert channel.bytes_processed == sum(len(p) for p in payloads)
+
+
+def test_decrypt_batch_isolates_tampered_packet(mccp):
+    channel = mccp.open_channel(Algorithm.CCM, 1, tag_length=8)
+    rng = random.Random(0xA1)
+    payloads = [rng.randbytes(rng.randrange(1, 400)) for _ in range(9)]
+    for index, payload in enumerate(payloads):
+        mccp.enqueue_packet(channel.channel_id, payload, nonce=_nonce(index, 13))
+    sealed = mccp.flush_channel(channel.channel_id)
+    for index, result in enumerate(sealed):
+        mccp.enqueue_packet(
+            channel.channel_id,
+            result.payload,
+            direction=Direction.DECRYPT,
+            nonce=_nonce(index, 13),
+            tag=bytes(8) if index == 4 else result.tag,
+        )
+    opened = mccp.flush_channel(channel.channel_id)
+    for index, (payload, result) in enumerate(zip(payloads, opened)):
+        if index == 4:
+            assert not result.ok and result.payload == b""
+        else:
+            assert result.ok and result.payload == payload
+    assert channel.auth_failures == 1
+
+
+def test_mixed_direction_batch_keeps_submission_order(mccp):
+    channel = mccp.open_channel(Algorithm.GCM, 1)
+    plaintext = b"interleaved"
+    ct, tag = gcm_encrypt(KEY, _nonce(100, 12), plaintext, b"", 16, True)
+    mccp.enqueue_packet(channel.channel_id, b"first", nonce=_nonce(0, 12))
+    mccp.enqueue_packet(
+        channel.channel_id,
+        ct,
+        direction=Direction.DECRYPT,
+        nonce=_nonce(100, 12),
+        tag=tag,
+    )
+    mccp.enqueue_packet(channel.channel_id, b"third", nonce=_nonce(2, 12))
+    first, second, third = mccp.flush_channel(channel.channel_id)
+    assert (first.payload, first.tag) == gcm_encrypt(
+        KEY, _nonce(0, 12), b"first", b"", 16, False
+    )
+    assert second.ok and second.payload == plaintext and second.tag is None
+    assert (third.payload, third.tag) == gcm_encrypt(
+        KEY, _nonce(2, 12), b"third", b"", 16, False
+    )
+
+
+def test_gmac_rides_gcm_with_empty_payload(mccp):
+    channel = mccp.open_channel(Algorithm.GCM, 1)
+    aad = b"authenticated-only data"
+    mccp.enqueue_packet(channel.channel_id, b"", aad, nonce=_nonce(0, 12))
+    (result,) = mccp.flush_channel(channel.channel_id)
+    assert result.payload == b""
+    assert result.tag == gmac(KEY, _nonce(0, 12), aad)
+
+
+def test_flush_batches_covers_all_pending_channels(mccp):
+    gcm_channel = mccp.open_channel(Algorithm.GCM, 1)
+    ccm_channel = mccp.open_channel(Algorithm.CCM, 1, tag_length=8)
+    mccp.enqueue_packet(gcm_channel.channel_id, b"a", nonce=_nonce(0, 12))
+    mccp.enqueue_packet(ccm_channel.channel_id, b"b", nonce=_nonce(0, 13))
+    results = mccp.flush_batches()
+    assert set(results) == {gcm_channel.channel_id, ccm_channel.channel_id}
+    assert results[gcm_channel.channel_id][0].tag == gcm_encrypt(
+        KEY, _nonce(0, 12), b"a", b"", 16, False
+    )[1]
+    assert results[ccm_channel.channel_id][0].tag == ccm_encrypt(
+        KEY, _nonce(0, 13), b"b", b"", 8, False
+    )[1]
+    assert mccp.flush_batches() == {}
+
+
+def test_enqueue_validation(mccp):
+    channel = mccp.open_channel(Algorithm.GCM, 1)
+    with pytest.raises(ChannelError):
+        mccp.enqueue_packet(99, b"x", nonce=bytes(12))
+    with pytest.raises(ProtocolError):
+        mccp.enqueue_packet(channel.channel_id, b"x")  # no nonce
+    with pytest.raises(ProtocolError):
+        mccp.enqueue_packet(
+            channel.channel_id, b"x", direction=Direction.DECRYPT, nonce=bytes(12)
+        )  # no tag
+    ctr_channel = mccp.open_channel(Algorithm.CTR, 1)
+    with pytest.raises(ProtocolError):
+        mccp.enqueue_packet(ctr_channel.channel_id, b"x", nonce=bytes(16))
+
+
+def test_enqueue_rejects_truncated_decrypt_tag(mccp):
+    """A forger must not get to pick a shorter (weaker) tag length."""
+    channel = mccp.open_channel(Algorithm.GCM, 1)
+    ciphertext, tag = gcm_encrypt(KEY, bytes(12), b"payload", b"", 16, False)
+    with pytest.raises(ProtocolError, match="16-byte tags, got 4"):
+        mccp.enqueue_packet(
+            channel.channel_id,
+            ciphertext,
+            direction=Direction.DECRYPT,
+            nonce=bytes(12),
+            tag=tag[:4],  # 4 is itself a valid GCM tag length
+        )
+    assert channel.pending_count == 0
+
+
+def test_enqueue_rejects_invalid_gcm_channel_tag_length(mccp):
+    """open_channel accepts any tag_length; the batch path must refuse
+    it at enqueue rather than lose the batch to a flush-time TagError."""
+    channel = mccp.open_channel(Algorithm.GCM, 1, tag_length=5)
+    with pytest.raises(ProtocolError, match="tag length 5"):
+        mccp.enqueue_packet(channel.channel_id, b"x", nonce=bytes(12))
+    assert channel.pending_count == 0
+
+
+def test_enqueue_rejects_malformed_ccm_packets_before_queueing(mccp):
+    """Bad sizes must surface at enqueue; a flush-time error would drop
+    the whole already-popped batch."""
+    channel = mccp.open_channel(Algorithm.CCM, 1, tag_length=8)
+    mccp.enqueue_packet(channel.channel_id, b"ok", nonce=_nonce(0, 13))
+    with pytest.raises(Exception, match="[Nn]once"):
+        mccp.enqueue_packet(channel.channel_id, b"x", nonce=bytes(16))
+    with pytest.raises(Exception, match="payload"):
+        # 13-byte nonce leaves a 2-byte length field: 64 KiB max payload.
+        mccp.enqueue_packet(channel.channel_id, bytes(70000), nonce=_nonce(1, 13))
+    assert channel.pending_count == 1  # rejected packets never queued
+    results = mccp.flush_channel(channel.channel_id)
+    assert len(results) == 1 and results[0].ok
+
+
+def test_close_rejects_pending_batch_packets(mccp):
+    channel = mccp.open_channel(Algorithm.GCM, 1)
+    mccp.enqueue_packet(channel.channel_id, b"x", nonce=bytes(12))
+    with pytest.raises(ChannelError, match="queued for batched dispatch"):
+        mccp.close_channel(channel.channel_id)
+    mccp.flush_channel(channel.channel_id)
+    mccp.close_channel(channel.channel_id)

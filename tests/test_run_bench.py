@@ -30,7 +30,9 @@ def test_run_bench_quick_emits_snapshot(tmp_path):
     for name, entry in snapshot["benchmarks"].items():
         assert entry["ops_per_s"] > 0, name
         assert entry["iterations"] >= 1, name
-    # Every *_fast kernel has a paired *_reference and a derived speedup.
+    # Every *_fast kernel has a paired *_reference and a derived
+    # speedup; batch kernels derive per-packet ratios vs the
+    # sequential fast kernel instead.
     assert set(snapshot["speedups"]) == {
         "aes_block",
         "gf128_mul",
@@ -38,5 +40,19 @@ def test_run_bench_quick_emits_snapshot(tmp_path):
         "aes_ctr_2kb",
         "gcm_2kb",
         "ccm_2kb",
+        "gcm_2kb_batch32_per_packet",
+        "ccm_2kb_batch32_per_packet",
     }
     assert all(ratio > 0 for ratio in snapshot["speedups"].values())
+
+
+def test_deterministic_bytes_is_stable_and_not_constant():
+    # Regression: a fresh Random(seed) per byte once collapsed every
+    # bench input to one repeated value (2 KB of 0x79), which both
+    # misrepresents traffic and runs ~2x slower through numpy gathers.
+    from repro.experiments.kernels import deterministic_bytes
+
+    data = deterministic_bytes(2048, 12)
+    assert data == deterministic_bytes(2048, 12)
+    assert len(set(data)) > 100
+    assert deterministic_bytes(2048, 13) != data
