@@ -35,7 +35,7 @@ def run_policy(policy):
     voice = [
         t.download_done_cycle - t.request.submit_cycle
         for t in platform.comm.completed.values()
-        if t.request.channel_id == 0
+        if t.request is not None and t.request.channel_id == 0
     ]
     return report, latency_stats(voice)
 

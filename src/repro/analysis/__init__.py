@@ -12,6 +12,7 @@ from repro.analysis.throughput import (
     CLOCK_HZ_DEFAULT,
     PAPER_TABLE2,
     Table2Row,
+    WorkloadReport,
     mbps,
     theoretical_table2,
 )
@@ -25,6 +26,7 @@ __all__ = [
     "CLOCK_HZ_DEFAULT",
     "PAPER_TABLE2",
     "Table2Row",
+    "WorkloadReport",
     "mbps",
     "theoretical_table2",
     "AreaModel",

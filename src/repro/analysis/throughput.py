@@ -1,20 +1,87 @@
-"""Table II reproduction helpers.
+"""Throughput accounting: Table II helpers and workload reports.
 
 "MCCP encryption throughputs at 190 MHz (theoretical / 2 KB packet)":
 the theoretical column is ``cores * 128 bits / T_loop * f``; the packet
 column comes from simulating real 2 KB packets.  ``PAPER_TABLE2`` pins
 the published values for paper-vs-measured reporting.
+
+:class:`WorkloadReport` is the aggregate record every
+:meth:`repro.radio.sdr_platform.SdrPlatform.run_workload` run returns.
+Since the dataplane refactor it also carries per-channel queue-depth
+and backpressure statistics, so a batched run exposes how well the
+flush policy coalesced (queue peaks, dispatch widths, what triggered
+each flush) alongside the classic throughput/latency numbers.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
 from repro.analysis.cycles import LoopModel
 from repro.unit.timing import DEFAULT_TIMING, TimingModel
 
 CLOCK_HZ_DEFAULT = 190e6
+
+
+@dataclass
+class WorkloadReport:
+    """Aggregate results of a workload run."""
+
+    total_cycles: int
+    packets_done: int
+    payload_bytes: int
+    latencies: List[int] = field(default_factory=list)
+    per_channel_bytes: Dict[int, int] = field(default_factory=dict)
+    # -- dataplane statistics (batched submission pipeline) ------------
+    #: Deepest each channel's coalescing queue ever got.
+    per_channel_queue_peak: Dict[int, int] = field(default_factory=dict)
+    #: Batch-engine dispatches per channel.
+    per_channel_batches: Dict[int, int] = field(default_factory=dict)
+    #: Flush trigger -> count ("size", "deadline", "forced").
+    flush_causes: Dict[str, int] = field(default_factory=dict)
+    #: Core-path submissions that hit NoResourceError and retried
+    #: (radio-side queueing; always 0 for fully batched workloads).
+    backpressure_retries: int = 0
+    #: ENCRYPT/DECRYPT requests the task scheduler ran on cores (0 when
+    #: every packet flowed through the batch engine).
+    core_submits: int = 0
+
+    def throughput_mbps(self, clock_hz: float = CLOCK_HZ_DEFAULT) -> float:
+        """Aggregate payload throughput at *clock_hz*."""
+        if self.total_cycles == 0:
+            return 0.0
+        seconds = self.total_cycles / clock_hz
+        return 8 * self.payload_bytes / seconds / 1e6
+
+    def mean_latency_us(self, clock_hz: float = CLOCK_HZ_DEFAULT) -> float:
+        """Mean packet latency in microseconds."""
+        if not self.latencies:
+            return 0.0
+        return sum(self.latencies) / len(self.latencies) / clock_hz * 1e6
+
+    def max_latency_us(self, clock_hz: float = CLOCK_HZ_DEFAULT) -> float:
+        """Worst-case packet latency in microseconds."""
+        if not self.latencies:
+            return 0.0
+        return max(self.latencies) / clock_hz * 1e6
+
+    @property
+    def batches(self) -> int:
+        """Total batch-engine dispatches across channels."""
+        return sum(self.per_channel_batches.values())
+
+    def mean_batch_width(self) -> float:
+        """Average packets per batch-engine dispatch (0 if none ran)."""
+        total = self.batches
+        if total == 0:
+            return 0.0
+        batched_packets = self.packets_done - self.core_submits
+        return batched_packets / total
+
+    def queue_peak(self) -> int:
+        """Deepest coalescing queue observed on any channel."""
+        return max(self.per_channel_queue_peak.values(), default=0)
 
 #: Table II as published: {(mode_config, key_bits): (theoretical, 2KB)}
 #: mode_config in {"gcm_1", "gcm_4x1", "ccm_1", "ccm_4x1", "ccm_2", "ccm_2x2"}.

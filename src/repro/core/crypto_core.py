@@ -191,6 +191,14 @@ class CryptoCore:
     def _finish_task(self, result_code: int) -> None:
         if not self.busy or self.task_done is None:
             raise CoreError(f"{self.name}: result written with no task")
+        unit = self.active_unit
+        if unit.busy or unit._queue:
+            # Firmware published its result while the CU still has tail
+            # work (possible with custom programs that skip the drain
+            # fence).  The task is not done — and the core must not be
+            # reassignable — until the last STORE lands in the FIFO.
+            unit.call_when_idle(lambda: self._finish_task(result_code))
+            return
         auth_failed = result_code == RESULT_AUTH_FAIL
         if auth_failed:
             # Security: never expose unauthenticated plaintext.

@@ -52,6 +52,7 @@ RESULT_OK = 0x01
 RESULT_AUTH_FAIL = 0x02
 
 STATUS_EQU_BIT = 0x01
+STATUS_CU_BUSY_BIT = 0x08
 
 
 class FW:
@@ -59,6 +60,7 @@ class FW:
 
     def __init__(self, title: str):
         self._lines: List[str] = [f"; {title}"]
+        self._drain_labels = 0
 
     # -- raw emission -----------------------------------------------------
 
@@ -160,26 +162,47 @@ class FW:
             self.raw("    INPUT  s7, 0x19          ; tag mask hi")
         return self
 
-    def result_ok(self) -> "FW":
-        """Wait for the CU to drain, then report success and finish.
+    def drain_cu(self) -> "FW":
+        """Emit the CU-drain fence: NOP, HALT, then poll until idle.
 
-        The HALT is essential: the controller runs ahead of the CU's
-        issue queue, so without it the result could be published while
-        STOREs are still in flight.
+        The controller runs ahead of the CU's issue queue, so a result
+        written without this fence could be published while STOREs are
+        still in flight.  A bare HALT is not enough: the done wire
+        latches one pulse, and under FIFO-stall backpressure a pulse
+        from an earlier queue-drain can survive to here and wake the
+        HALT while tail instructions are still queued (the controller
+        then runs one done-edge ahead for the rest of the program).
+        The NOP fence guarantees a fresh pulse so the HALT can never
+        sleep forever, and the status poll closes the early-wake
+        window by spinning until the CU-busy bit clears.
         """
+        label = f"cu_drain_{self._drain_labels}"
+        self._drain_labels += 1
+        nop = self._encode(0, 0, 0)  # raw byte 0 = NOP in every personality
+        self.raw(f"    LOAD   s2, {nop}")
+        self.raw(f"    OUTPUT s2, {P_CU}        ; fence NOP (fresh done pulse)")
         self.raw("    HALT                      ; wait CU idle")
+        self.label(label)
+        self.raw(f"    INPUT  s3, {P_STATUS}")
+        self.raw(f"    AND    s3, {STATUS_CU_BUSY_BIT}")
+        self.raw(f"    JUMP   NZ, {label}       ; stale-latch guard")
+        return self
+
+    def result_ok(self) -> "FW":
+        """Drain the CU, then report success and finish."""
+        self.drain_cu()
         self.raw(f"    LOAD   s3, {RESULT_OK}")
         self.raw(f"    OUTPUT s3, {P_RESULT}    ; done: OK")
         self.raw("    RETURN")
         return self
 
     def check_equ_and_finish(self, fail_label: str) -> "FW":
-        """Wait for the CU to drain, read the equ flag, report OK/AUTH_FAIL.
+        """Drain the CU, read the equ flag, report OK/AUTH_FAIL.
 
-        The CU-idle wait happens exactly once (a second HALT with no
-        intervening CU instruction would sleep forever).
+        The drain must complete before the status read: the equ flag
+        is only meaningful once the EQU instruction has executed.
         """
-        self.raw("    HALT                      ; wait for EQU to execute")
+        self.drain_cu()
         self.raw(f"    INPUT  s3, {P_STATUS}")
         self.raw(f"    AND    s3, {STATUS_EQU_BIT}")
         self.raw(f"    JUMP   Z, {fail_label}")

@@ -23,6 +23,12 @@ core busy on one session key's packet stream.  Three mechanisms:
   :func:`repro.crypto.fast.ghash_hpower.ghash_blocks_hpower` with the
   batch's shared subkey tables.
 
+Batch opens verify before they decrypt where the mode allows it:
+:func:`gcm_open_many` checks every tag off a 1-block-per-packet mask
+sweep and runs the payload keystream sweep only for the survivors
+(CCM tags cover the plaintext, so :func:`ccm_open_many` cannot skip —
+see its docstring).
+
 Packet *data*/*aad* accept scatter-gather form: either one bytes-like
 or a sequence of segments that are joined without caller-side copies.
 Every output is byte-identical to the sequential one-call APIs (and so
@@ -246,10 +252,10 @@ def _gcm_tag_hpower(
     return xor_data(acc.to_bytes(BLOCK_BYTES, "big"), j0_mask)[:tag_length]
 
 
-def _gcm_prepare(
+def _gcm_front(
     key: bytes, packets: Sequence[Sequence], aad_index: int
-) -> Tuple[Schedule, int, List[bytes], List[bytes], List[bytes], List[bytes]]:
-    """Shared GCM batch front end: schedule, H, keystreams, tag masks.
+) -> Tuple[Schedule, int, List[bytes], List[bytes], List[int]]:
+    """Shared GCM batch front end: schedule, H, gathered fields, J_0s.
 
     Packet field 0 is the IV and field 1 the data (plaintext for seal,
     ciphertext for open); *aad_index* locates the optional aad (seal
@@ -266,15 +272,7 @@ def _gcm_prepare(
         for packet in packets
     ]
     j0s = [_gcm_j0_int(h, iv) for iv in ivs]
-    specs: List[_CounterSpec] = [
-        (_inc32(j0), 32, -(-len(data) // BLOCK_BYTES))
-        for j0, data in zip(j0s, datas)
-    ]
-    specs += [(j0, 32, 1) for j0 in j0s]  # E(J_0) tag masks, same sweep
-    streams = _fused_keystream(round_keys, specs)
-    keystreams = streams[: len(packets)]
-    masks = streams[len(packets) :]
-    return round_keys, h, datas, aads, keystreams, masks
+    return round_keys, h, datas, aads, j0s
 
 
 def gcm_seal_many(
@@ -302,7 +300,15 @@ def gcm_seal_many(
             gcm_seal(key, bytes(p[0]), gather(p[1]), gather(p[2]) if len(p) > 2 else b"", tag_length)
             for p in packets
         ]
-    _, h, datas, aads, keystreams, masks = _gcm_prepare(key, packets, 2)
+    round_keys, h, datas, aads, j0s = _gcm_front(key, packets, 2)
+    specs: List[_CounterSpec] = [
+        (_inc32(j0), 32, -(-len(data) // BLOCK_BYTES))
+        for j0, data in zip(j0s, datas)
+    ]
+    specs += [(j0, 32, 1) for j0 in j0s]  # E(J_0) tag masks, same sweep
+    streams = _fused_keystream(round_keys, specs)
+    keystreams = streams[: len(packets)]
+    masks = streams[len(packets) :]
     results = []
     for data, aad, stream, mask in zip(datas, aads, keystreams, masks):
         ciphertext = xor_data(data, stream)
@@ -321,6 +327,14 @@ def gcm_open_many(
     ciphertext, tag, aad)``.  Failed packets release no plaintext;
     every other packet still opens (per-packet isolation, the batch
     analogue of the core purging one output FIFO).
+
+    Verification runs **first**: GCM tags authenticate the ciphertext,
+    so one 1-block-per-packet sweep yields every ``E(J_0)`` mask, the
+    H-power GHASH checks all tags, and only the surviving packets join
+    the payload keystream sweep — a forged 2 KB packet costs one AES
+    block plus a GHASH, not a 128-block decrypt that is then discarded.
+    Survivors' outputs are unaffected by failed lanes (their keystream
+    counters depend only on their own J_0, not on lane packing).
     """
     from repro.crypto.modes.gcm import VALID_TAG_LENGTHS
 
@@ -330,6 +344,8 @@ def gcm_open_many(
         if len(bytes(packet[2])) not in VALID_TAG_LENGTHS:
             raise TagError(f"GCM tag length {len(bytes(packet[2]))} is invalid")
     if not HAVE_NUMPY:
+        # bulk.gcm_open already verifies before generating the payload
+        # keystream, so the scalar fallback early-rejects per packet.
         return [
             _open_one(
                 gcm_open,
@@ -341,18 +357,23 @@ def gcm_open_many(
             )
             for p in packets
         ]
-    _, h, ciphertexts, aads, keystreams, masks = _gcm_prepare(key, packets, 3)
-    results: List[Optional[bytes]] = []
-    for packet, ciphertext, aad, stream, mask in zip(
-        packets, ciphertexts, aads, keystreams, masks
-    ):
+    round_keys, h, ciphertexts, aads, j0s = _gcm_front(key, packets, 3)
+    masks = _fused_keystream(round_keys, [(j0, 32, 1) for j0 in j0s])
+    verified: List[bool] = []
+    for packet, ciphertext, aad, mask in zip(packets, ciphertexts, aads, masks):
         tag = bytes(packet[2])
         expected = _gcm_tag_hpower(h, mask, aad, ciphertext, len(tag))
-        if hmac.compare_digest(expected, tag):
-            results.append(xor_data(ciphertext, stream))
-        else:
-            results.append(None)
-    return results
+        verified.append(hmac.compare_digest(expected, tag))
+    survivor_specs: List[_CounterSpec] = [
+        (_inc32(j0), 32, -(-len(ciphertext) // BLOCK_BYTES))
+        for j0, ciphertext, ok in zip(j0s, ciphertexts, verified)
+        if ok
+    ]
+    streams = iter(_fused_keystream(round_keys, survivor_specs))
+    return [
+        xor_data(ciphertext, next(streams)) if ok else None
+        for ciphertext, ok in zip(ciphertexts, verified)
+    ]
 
 
 def gmac_many(
@@ -439,6 +460,14 @@ def ccm_open_many(
 
     *packets* is a sequence of ``(nonce, ciphertext, tag)`` or
     ``(nonce, ciphertext, tag, aad)``.
+
+    Unlike GCM, CCM's tag authenticates the *plaintext*, so
+    verification inherently requires the full keystream and CBC-MAC
+    sweeps — there is no work to skip for a forged packet (the
+    early-reject fast-out lives in :func:`gcm_open_many`).  What this
+    path does guarantee is isolation: a failed lane releases no
+    plaintext and cannot perturb surviving lanes' outputs, whose MAC
+    chains and counters are lane-local.
     """
     from repro.crypto.modes.ccm import (
         _check_params,

@@ -64,6 +64,69 @@ CCM_BATCH = tuple(((i + 1).to_bytes(13, "big"), PACKET) for i in range(BATCH_PAC
 _KERNEL_EVENTS = 2000
 
 
+def _radio_ccm_setup(width: int, npackets: int):
+    """One CCM radio-dataplane rig: (sim, comm, channel, packets).
+
+    Shared by the bench kernels and their correctness twin so the perf
+    number and the gate always measure the same pipeline
+    (coalesce width *width*, 8-byte tags, 2 KB packets).
+    """
+    from repro.core.params import Algorithm
+    from repro.mccp.channel import FlushPolicy
+    from repro.mccp.mccp import Mccp
+    from repro.radio.comm_controller import CommController
+    from repro.radio.packet import Packet
+
+    sim = Simulator()
+    mccp = Mccp(sim)
+    mccp.load_session_key(0, KEY)
+    channel = mccp.open_channel(Algorithm.CCM, 0, tag_length=8)
+    channel.flush_policy = FlushPolicy(coalesce_limit=width, flush_deadline=None)
+    comm = CommController(sim, mccp)
+    packets = [
+        Packet(channel.channel_id, b"", PACKET, sequence=i)
+        for i in range(npackets)
+    ]
+    return sim, comm, channel, packets
+
+
+def _radio_ccm_round(sim, comm, channel, packets) -> None:
+    """Enqueue every packet, force-flush, run the sim to completion."""
+    finished = sim.event("bench.flush")
+
+    def proc():
+        for packet in packets:
+            comm.submit_job(channel, packet)
+        yield from comm.flush_now(channel)
+        finished.trigger()
+
+    sim.add_process(proc())
+    sim.run_until_event(finished)
+
+
+def _radio_ccm_dataplane(width: int, npackets: int):
+    """Zero-arg kernel: *npackets* 2 KB CCM packets through the batched
+    radio dataplane at coalesce width *width*.
+
+    One op = one enqueue-all + flush round trip through the real
+    pipeline (CommController jobs, flush policy, channel queue, batch
+    engine, per-packet completion stamping, simulated control/transfer
+    time), so ops/s x npackets is end-to-end radio packets/s — the
+    number the ``radio_ccm_2kb_batch32_per_packet`` speedup compares
+    against the width-1 (sequential) path.
+    """
+    sim, comm, channel, packets = _radio_ccm_setup(width, npackets)
+
+    def run() -> int:
+        _radio_ccm_round(sim, comm, channel, packets)
+        # Bound the per-iteration completion records the bench retains.
+        comm.completed.clear()
+        comm.latencies.clear()
+        return npackets
+
+    return run
+
+
 def _kernel_events() -> int:
     sim = Simulator()
 
@@ -110,6 +173,10 @@ def build_kernels() -> Dict[str, Callable[[], object]]:
         # derives the `<base>_batch<N>_per_packet` speedups from this).
         "gcm_2kb_batch32_fast": lambda: gcm_seal_many(KEY, GCM_BATCH, 16),
         "ccm_2kb_batch32_fast": lambda: ccm_seal_many(KEY, CCM_BATCH, 8),
+        # End-to-end radio dataplane: one op = enqueue + flush through
+        # the MCCP channel layer (sequential width-1 vs coalesced 32).
+        "radio_ccm_2kb_fast": _radio_ccm_dataplane(1, 1),
+        "radio_ccm_2kb_batch32_fast": _radio_ccm_dataplane(32, BATCH_PACKETS),
         "sim_kernel_8k_events": _kernel_events,
     }
 
@@ -133,6 +200,8 @@ KERNEL_NAMES = (
     "ccm_2kb_fast",
     "gcm_2kb_batch32_fast",
     "ccm_2kb_batch32_fast",
+    "radio_ccm_2kb_fast",
+    "radio_ccm_2kb_batch32_fast",
     "sim_kernel_8k_events",
 )
 
@@ -181,6 +250,19 @@ def correctness_check(name: str) -> bool:
         sequential = [ccm_seal(KEY, nonce, data, b"", 8) for nonce, data in CCM_BATCH]
         reference = ccm_encrypt(KEY, CCM_BATCH[0][0], PACKET, b"", 8, False)
         return batch == sequential and batch[0] == reference
+    if name in ("radio_ccm_2kb_fast", "radio_ccm_2kb_batch32_fast"):
+        # The full dataplane (jobs, flush policy, batch engine) must
+        # reproduce the sequential one-call fast path byte-for-byte.
+        width = 32 if name.endswith("batch32_fast") else 1
+        sim, comm, channel, packets = _radio_ccm_setup(width, BATCH_PACKETS)
+        _radio_ccm_round(sim, comm, channel, packets)
+        transfers = list(comm.completed.values())
+        return len(transfers) == BATCH_PACKETS and all(
+            t.ok
+            and (t.payload, t.tag)
+            == ccm_seal(KEY, t.job.nonce, t.job.data, b"", 8)
+            for t in transfers
+        )
     if name == "sim_kernel_8k_events":
         return _kernel_events() == _KERNEL_EVENTS
     raise KeyError(f"unknown kernel {name!r}")

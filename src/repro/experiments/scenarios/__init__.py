@@ -10,6 +10,7 @@ from repro.experiments.scenarios import (  # noqa: F401  (registration imports)
     batch,
     bench,
     platform,
+    radio,
     stress,
     tables,
 )

@@ -75,7 +75,7 @@ def scheduling_policies(params, seed, quick):
     voice = [
         t.download_done_cycle - t.request.submit_cycle
         for t in platform.comm.completed.values()
-        if t.request.channel_id == 0
+        if t.request is not None and t.request.channel_id == 0
     ]
     metrics = _report_metrics(report)
     voice_stats = latency_stats(voice)

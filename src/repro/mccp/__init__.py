@@ -21,7 +21,7 @@ from repro.mccp.instructions import (
 from repro.mccp.key_memory import KeyMemory
 from repro.mccp.key_scheduler import KeyScheduler
 from repro.mccp.crossbar import Crossbar
-from repro.mccp.channel import Channel, ChannelState
+from repro.mccp.channel import Channel, ChannelState, FlushPolicy, PacketJob
 from repro.mccp.task_scheduler import PendingRequest, TaskScheduler
 from repro.mccp.mccp import Mccp
 
@@ -40,6 +40,8 @@ __all__ = [
     "Crossbar",
     "Channel",
     "ChannelState",
+    "FlushPolicy",
+    "PacketJob",
     "PendingRequest",
     "TaskScheduler",
     "Mccp",

@@ -4,20 +4,26 @@ A channel binds an algorithm to a session key id.  Packets from the
 same channel may be processed concurrently on different cores
 (section IV.D), so the channel itself holds no per-packet state.
 
-For the software batch engine the channel additionally carries a
-coalescing queue: packets enqueued via :meth:`Mccp.enqueue_packet`
-wait here until a flush drains them, :attr:`Channel.coalesce_limit` at
-a time, into one multi-packet dispatch
-(:mod:`repro.crypto.fast.batch`).  That is the software restatement of
-the paper's many-channel pipelining — same-key packets share one pass
-through the engine instead of paying per-packet dispatch.
+Since the dataplane refactor the channel is also the coalescing point
+of the unified :class:`PacketJob` pipeline: every packet the radio
+submits — whether it will run on the simulated cores or through the
+software batch engine — becomes one ``PacketJob``, and batch-engine
+jobs queue here until a flush drains them.  The channel's
+:class:`FlushPolicy` decides *when* that happens: a size threshold
+(``coalesce_limit`` jobs trigger an immediate dispatch) and a sim-time
+idle deadline (``flush_deadline`` cycles after the oldest queued job,
+so low-rate channels never stall a packet indefinitely waiting for
+batch-mates).  That is the software restatement of the paper's
+many-channel pipelining — same-key packets share one pass through the
+engine instead of paying per-packet dispatch — with the latency
+guard-rail a real radio needs.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Any, List, Optional
 
 from repro.core.params import Algorithm, Direction
 
@@ -26,10 +32,52 @@ from repro.core.params import Algorithm, Direction
 #: this width on 2 KB packets; it is a per-channel knob, not a constant.
 DEFAULT_COALESCE_LIMIT = 32
 
+#: Default idle deadline (cycles) before an under-filled batch is
+#: forced out.  At the paper's 190 MHz clock this is ~43 us — far under
+#: every profile's latency budget but long enough for a saturating
+#: channel to fill a batch many times over.
+DEFAULT_FLUSH_DEADLINE = 8192
+
 
 @dataclass
-class QueuedPacket:
-    """One packet awaiting batched dispatch on its channel."""
+class FlushPolicy:
+    """When a channel's queued jobs are dispatched.
+
+    ``coalesce_limit`` is the size threshold *and* the per-dispatch
+    width cap: reaching it triggers an immediate flush, and no dispatch
+    ever exceeds it.  ``flush_deadline`` bounds how long the *oldest*
+    queued job may wait (in simulated cycles) before an under-filled
+    batch is forced out; ``None`` disables the deadline (size-only
+    flushing — callers must drain explicitly at end of stream) and
+    ``0`` dispatches on the enqueueing cycle (still coalescing jobs
+    that arrive within the same cycle).
+    """
+
+    coalesce_limit: int = DEFAULT_COALESCE_LIMIT
+    flush_deadline: Optional[int] = DEFAULT_FLUSH_DEADLINE
+
+    def __post_init__(self) -> None:
+        if self.coalesce_limit < 1:
+            self.coalesce_limit = 1
+        if self.flush_deadline is not None and self.flush_deadline < 0:
+            raise ValueError(
+                f"flush_deadline must be >= 0 or None, got {self.flush_deadline}"
+            )
+
+
+@dataclass
+class PacketJob:
+    """One packet's traversal of the dataplane, submit to completion.
+
+    The single job abstraction both execution engines share: the
+    communication controller formats a radio packet into a job, the
+    channel layer queues and coalesces it, and either the cycle-model
+    cores (``via_cores=True``) or the software batch engine carry it
+    out.  The crypto payload fields (``direction``/``nonce``/``data``/
+    ``aad``/``tag``) are what the engines consume; the accounting
+    fields let completions fan back out to per-packet records with
+    correct latency attribution.
+    """
 
     direction: Direction
     #: Caller-owned nonce (the communication controller issues nonces;
@@ -40,6 +88,38 @@ class QueuedPacket:
     aad: bytes = b""
     #: Expected tag (DECRYPT only).
     tag: Optional[bytes] = None
+
+    # -- identity / accounting ------------------------------------------------
+    channel_id: int = -1
+    sequence: int = 0
+    priority: int = 1
+    #: Cycle the radio created the packet (latency epoch).
+    created_cycle: int = 0
+    #: Cycle the job entered its channel queue.
+    enqueued_cycle: int = 0
+    #: Cycle the completion record was stamped (None while in flight).
+    completed_cycle: Optional[int] = None
+
+    # -- routing --------------------------------------------------------------
+    #: True = dispatch on the simulated cores (cycle model); False =
+    #: coalesce through the software batch engine.
+    via_cores: bool = False
+    #: Two-core CCM split (cores engine only).
+    two_core: bool = False
+
+    # -- completion -----------------------------------------------------------
+    #: Kernel Event triggered with the CompletedTransfer (owner-set).
+    completion: Optional[Any] = None
+    #: Engine-level outcome (:class:`repro.mccp.mccp.BatchResult`).
+    result: Optional[Any] = None
+    #: Comm-level record (:class:`repro.radio.comm_controller
+    #: .CompletedTransfer`), stamped by the dataplane.
+    transfer: Optional[Any] = None
+
+
+#: Pre-dataplane name for a queued batch-path packet; the job carries
+#: the same crypto fields, so old constructor calls keep working.
+QueuedPacket = PacketJob
 
 
 class ChannelState(enum.Enum):
@@ -65,10 +145,24 @@ class Channel:
     bytes_processed: int = 0
     auth_failures: int = 0
     stats: dict = field(default_factory=dict)
-    #: Packets queued for batched dispatch (drained by flush).
-    pending: List[QueuedPacket] = field(default_factory=list)
-    #: Max packets coalesced into one batch-engine dispatch.
-    coalesce_limit: int = DEFAULT_COALESCE_LIMIT
+    #: Jobs queued for batched dispatch (drained by flush).
+    pending: List[PacketJob] = field(default_factory=list)
+    #: Jobs popped by a drain but not yet completed (a dispatch in its
+    #: simulated control/transfer window).  Teardown guards must treat
+    #: these like queued jobs: they are no longer in ``pending`` but
+    #: their completions have not fired.
+    in_flight: int = 0
+    #: When queued jobs dispatch (size threshold + idle deadline).
+    flush_policy: FlushPolicy = field(default_factory=FlushPolicy)
+
+    @property
+    def coalesce_limit(self) -> int:
+        """Max jobs coalesced into one dispatch (flush-policy view)."""
+        return self.flush_policy.coalesce_limit
+
+    @coalesce_limit.setter
+    def coalesce_limit(self, value: int) -> None:
+        self.flush_policy.coalesce_limit = max(1, int(value))
 
     @property
     def is_open(self) -> bool:
@@ -77,16 +171,26 @@ class Channel:
 
     @property
     def pending_count(self) -> int:
-        """Packets currently waiting for a batched flush."""
+        """Jobs currently waiting for a batched flush."""
         return len(self.pending)
 
-    def enqueue(self, packet: QueuedPacket) -> int:
-        """Queue one packet for batched dispatch; returns queue depth."""
-        self.pending.append(packet)
-        return len(self.pending)
+    @property
+    def oldest_pending_cycle(self) -> Optional[int]:
+        """Enqueue cycle of the oldest queued job (deadline anchor)."""
+        return self.pending[0].enqueued_cycle if self.pending else None
 
-    def take_batch(self) -> List[QueuedPacket]:
-        """Pop up to :attr:`coalesce_limit` packets, submission order."""
+    def enqueue(self, job: PacketJob) -> int:
+        """Queue one job for batched dispatch; returns queue depth."""
+        self.pending.append(job)
+        depth = len(self.pending)
+        stats = self.stats
+        stats["jobs_enqueued"] = stats.get("jobs_enqueued", 0) + 1
+        if depth > stats.get("queue_peak", 0):
+            stats["queue_peak"] = depth
+        return depth
+
+    def take_batch(self) -> List[PacketJob]:
+        """Pop up to :attr:`coalesce_limit` jobs, submission order."""
         limit = max(1, self.coalesce_limit)
         batch, self.pending = self.pending[:limit], self.pending[limit:]
         return batch

@@ -10,15 +10,22 @@ scheduler, crossbar, task scheduler — and exposes both interfaces:
 - **convenience methods** (:meth:`open_channel`, :meth:`submit`, …)
   used by the communication controller and the benchmarks.
 
-It also exposes the **batched submission path**
-(:meth:`enqueue_packet` / :meth:`flush_channel` /
-:meth:`flush_batches`): same-key packets queue on their channel and
-drain :attr:`Channel.coalesce_limit` at a time through the multi-packet
+It also exposes the **batched submission path** (:meth:`enqueue_job` /
+:meth:`enqueue_packet` / :meth:`dispatch_jobs` / :meth:`flush_channel`
+/ :meth:`flush_batches`): same-key :class:`repro.mccp.channel
+.PacketJob` records queue on their channel and drain
+:attr:`Channel.coalesce_limit` at a time through the multi-packet
 batch engine (:mod:`repro.crypto.fast.batch`) — lane-parallel CBC-MAC,
-fused counter sweeps, H-power GHASH.  This is the functional software
-analogue of the paper's many-channel pipelining, not the cycle model:
-it produces the same bytes the simulated cores would, without charging
-simulated time (use :meth:`submit` for cycle-accurate runs).
+fused counter sweeps, H-power GHASH.  This layer is the functional
+software analogue of the paper's many-channel pipelining, not the
+cycle model: it produces the same bytes the simulated cores would
+(:meth:`submit` runs the cycle-accurate core path).  Simulated time
+for batched dispatches is charged by the communication controller's
+dataplane (:mod:`repro.radio.comm_controller`), which pops batches
+under the channel's :class:`repro.mccp.channel.FlushPolicy` and calls
+:meth:`dispatch_jobs` per dispatch; the synchronous
+:meth:`flush_channel` / :meth:`flush_batches` remain the zero-sim-time
+entry points.
 """
 
 from __future__ import annotations
@@ -31,7 +38,7 @@ from repro.core.params import Algorithm, Direction
 from repro.crypto.modes.ccm import _check_params as _ccm_check_params
 from repro.crypto.modes.gcm import VALID_TAG_LENGTHS as _GCM_VALID_TAG_LENGTHS
 from repro.errors import ChannelError, NoResourceError, ProtocolError
-from repro.mccp.channel import Channel, QueuedPacket
+from repro.mccp.channel import Channel, PacketJob
 from repro.mccp.crossbar import Crossbar
 from repro.mccp.instructions import (
     CloseInstr,
@@ -193,10 +200,14 @@ class Mccp:
         self.scheduler.close_channel(channel_id)
 
     def submit(
-        self, channel_id: int, tasks: Sequence[FormattedTask], priority: int = 1
+        self,
+        channel_id: int,
+        tasks: Sequence[FormattedTask],
+        priority: int = 1,
+        job: Optional["PacketJob"] = None,
     ) -> PendingRequest:
         """ENCRYPT/DECRYPT + data upload entry point (see CommController)."""
-        return self.scheduler.submit(channel_id, tasks, priority)
+        return self.scheduler.submit(channel_id, tasks, priority, job=job)
 
     # -- batched submission path (software multi-packet fast path) -----------------
 
@@ -211,13 +222,31 @@ class Mccp:
     ) -> int:
         """Queue one packet for batched dispatch; returns queue depth.
 
-        The caller owns the nonce (the communication controller issues
-        them; reusing one under the same key is a protocol violation
-        this layer cannot detect).  DECRYPT packets must carry the
-        received *tag*.  Nothing runs until :meth:`flush_channel` /
-        :meth:`flush_batches` drains the queue, so callers control the
-        coalescing window as well as the per-dispatch width
-        (:attr:`Channel.coalesce_limit`).
+        Convenience wrapper over :meth:`enqueue_job` for callers that
+        deal in raw bytes rather than :class:`PacketJob` records (the
+        communication controller builds jobs directly).
+        """
+        return self.enqueue_job(
+            channel_id,
+            PacketJob(
+                direction=direction,
+                nonce=b"" if nonce is None else bytes(nonce),
+                data=bytes(data),
+                aad=bytes(aad),
+                tag=None if tag is None else bytes(tag),
+            ),
+        )
+
+    def enqueue_job(self, channel_id: int, job: PacketJob) -> int:
+        """Queue one :class:`PacketJob` for batched dispatch.
+
+        Returns the queue depth.  The caller owns the nonce (the
+        communication controller issues them; reusing one under the
+        same key is a protocol violation this layer cannot detect).
+        DECRYPT jobs must carry the received tag.  Nothing runs until a
+        flush drains the queue, so callers control the coalescing
+        window as well as the per-dispatch width (the channel's
+        :class:`repro.mccp.channel.FlushPolicy`).
         """
         channel = self.scheduler.get_channel(channel_id)
         if not channel.is_open:
@@ -227,53 +256,62 @@ class Mccp:
                 f"batched submission supports AEAD channels, "
                 f"not {channel.algorithm.name}"
             )
-        if not nonce:
+        if not job.nonce:
             raise ProtocolError("batched packets need a caller-issued nonce")
-        if direction is Direction.DECRYPT:
-            if tag is None:
+        if job.direction is Direction.DECRYPT:
+            if job.tag is None:
                 raise ProtocolError("DECRYPT packets must carry the received tag")
-            if len(tag) != channel.tag_length:
+            if len(job.tag) != channel.tag_length:
                 # Verifying against whatever length arrives would let a
                 # forger downgrade to the shortest valid tag.
                 raise ProtocolError(
                     f"channel {channel_id} verifies {channel.tag_length}-byte "
-                    f"tags, got {len(tag)}"
+                    f"tags, got {len(job.tag)}"
                 )
         if channel.algorithm is Algorithm.CCM:
             # Reject bad nonce/payload sizes now: by flush time the batch
             # has left the queue and an exception would drop its packets.
-            _ccm_check_params(bytes(nonce), channel.tag_length, len(data))
+            _ccm_check_params(bytes(job.nonce), channel.tag_length, len(job.data))
         elif channel.tag_length not in _GCM_VALID_TAG_LENGTHS:
             raise ProtocolError(
                 f"channel {channel_id} has GCM tag length "
                 f"{channel.tag_length}, valid: {_GCM_VALID_TAG_LENGTHS}"
             )
-        return channel.enqueue(
-            QueuedPacket(
-                direction=direction,
-                nonce=bytes(nonce),
-                data=bytes(data),
-                aad=bytes(aad),
-                tag=None if tag is None else bytes(tag),
-            )
-        )
+        job.channel_id = channel_id
+        return channel.enqueue(job)
+
+    def dispatch_jobs(
+        self, channel_id: int, jobs: Sequence[PacketJob]
+    ) -> List[BatchResult]:
+        """Run one already-dequeued batch of *jobs* through the engine.
+
+        The dataplane's inner step: the communication controller pops a
+        batch (charging its modelled control/transfer time), then calls
+        this to produce the bytes.  Each job's :attr:`PacketJob.result`
+        is stamped; channel statistics (``packets_processed``,
+        ``bytes_processed``, ``auth_failures``, ``stats['batches']``)
+        update as the paper's per-channel counters would.
+        """
+        channel = self.scheduler.get_channel(channel_id)
+        key = self.key_memory.fetch_for_scheduler(channel.key_id)
+        results = self._dispatch_batch(channel, key, jobs)
+        channel.stats["batches"] = channel.stats.get("batches", 0) + 1
+        return results
 
     def flush_channel(self, channel_id: int) -> List[BatchResult]:
         """Drain one channel's queue through the batch engine.
 
         Packets dispatch in submission order, :attr:`Channel
         .coalesce_limit` per batch; results come back in the same
-        order.  Channel statistics (``packets_processed``,
-        ``bytes_processed``, ``auth_failures``, ``stats['batches']``)
-        update as the paper's per-channel counters would.
+        order.  This is the zero-sim-time entry point; the simulated
+        dataplane (:class:`repro.radio.comm_controller.CommController`)
+        drives :meth:`dispatch_jobs` itself so it can charge scheduler
+        and crossbar time per dispatch.
         """
         channel = self.scheduler.get_channel(channel_id)
-        key = self.key_memory.fetch_for_scheduler(channel.key_id)
         results: List[BatchResult] = []
         while channel.pending:
-            batch = channel.take_batch()
-            results.extend(self._dispatch_batch(channel, key, batch))
-            channel.stats["batches"] = channel.stats.get("batches", 0) + 1
+            results.extend(self.dispatch_jobs(channel_id, channel.take_batch()))
         return results
 
     def flush_batches(self) -> Dict[int, List[BatchResult]]:
@@ -285,7 +323,7 @@ class Mccp:
         }
 
     def _dispatch_batch(
-        self, channel: Channel, key: bytes, batch: Sequence[QueuedPacket]
+        self, channel: Channel, key: bytes, batch: Sequence[PacketJob]
     ) -> List[BatchResult]:
         """Run one coalesced batch; seals and opens each share a sweep."""
         from repro.crypto.fast import batch as fast_batch
@@ -319,9 +357,10 @@ class Mccp:
             results[i] = BatchResult(
                 ok=plaintext is not None, payload=plaintext or b""
             )
-        for packet, result in zip(batch, results):
+        for job, result in zip(batch, results):
+            job.result = result
             channel.packets_processed += 1
-            channel.bytes_processed += len(packet.data)
+            channel.bytes_processed += len(job.data)
             if not result.ok:
                 channel.auth_failures += 1
         return results

@@ -22,7 +22,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.core.crypto_core import CoreResult, CryptoCore
 from repro.core.params import Algorithm
 from repro.errors import ChannelError, NoResourceError, ProtocolError
-from repro.mccp.channel import Channel
+from repro.mccp.channel import Channel, PacketJob
 from repro.mccp.crossbar import Crossbar
 from repro.mccp.key_scheduler import KeyScheduler
 from repro.radio.formatting import FormattedTask
@@ -58,6 +58,9 @@ class PendingRequest:
     done_event: Optional[Event] = None
     #: Triggers when all cores finished (the Data Available edge).
     ready_event: Optional[Event] = None
+    #: The dataplane job this request carries out (None for callers
+    #: that drive :meth:`TaskScheduler.submit` with raw tasks).
+    job: Optional["PacketJob"] = None
 
     @property
     def auth_failed(self) -> bool:
@@ -142,10 +145,11 @@ class TaskScheduler:
             raise ChannelError(
                 f"channel {channel_id} has {len(busy)} unfinished requests"
             )
-        if channel.pending:
+        if channel.pending or channel.in_flight:
             raise ChannelError(
                 f"channel {channel_id} has {len(channel.pending)} packets "
-                "queued for batched dispatch (flush first)"
+                f"queued for batched dispatch and {channel.in_flight} in a "
+                "dispatch in flight (flush first)"
             )
         channel.close()
         del self.channels[channel_id]
@@ -173,11 +177,13 @@ class TaskScheduler:
         channel_id: int,
         tasks: Sequence[FormattedTask],
         priority: int = 1,
+        job: Optional[PacketJob] = None,
     ) -> PendingRequest:
         """Assign a formatted packet task to core(s), first-idle order.
 
         *tasks* holds one task (single-core modes) or the (MAC, CTR)
-        pair of a two-core CCM split.  Raises
+        pair of a two-core CCM split; *job* is the dataplane
+        :class:`PacketJob` the request carries out, if any.  Raises
         :class:`NoResourceError` when not enough idle cores exist —
         the error-flag path of the paper's ENCRYPT instruction.
         """
@@ -199,6 +205,7 @@ class TaskScheduler:
             core_indices=tuple(chosen),
             tasks=tuple(tasks),
             submit_cycle=self.sim.now,
+            job=job,
         )
         self._next_request += 1
         self.requests[request.request_id] = request

@@ -10,6 +10,8 @@ multi-channel, multi-standard workloads.
 
 from repro.radio.formatting import (
     FormattedTask,
+    build_job,
+    expected_output_words,
     format_cbc_mac,
     format_ccm_single,
     format_ccm_two_core,
@@ -17,6 +19,7 @@ from repro.radio.formatting import (
     format_gcm,
     format_task,
     format_whirlpool,
+    job_transfer_words,
     parse_output,
 )
 from repro.radio.packet import Packet, SecuredPacket
@@ -25,6 +28,9 @@ from repro.radio.traffic import TrafficGenerator, TrafficPattern
 
 __all__ = [
     "FormattedTask",
+    "build_job",
+    "expected_output_words",
+    "job_transfer_words",
     "format_cbc_mac",
     "format_ccm_single",
     "format_ccm_two_core",

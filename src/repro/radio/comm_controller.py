@@ -5,6 +5,25 @@ Sits between the radio's waveforms and the MCCP: formats every packet
 uploads/downloads FIFO data through the crossbar, reacts to the
 ``Data Available`` interrupt, and reassembles secured packets.
 
+Since the dataplane refactor everything flows through one submission
+pipeline built around :class:`repro.mccp.channel.PacketJob`:
+
+- :meth:`submit_job` formats a packet into a job and enqueues it on
+  its channel (no blocking);
+- the channel's :class:`repro.mccp.channel.FlushPolicy` decides when
+  queued jobs dispatch — a size threshold (``coalesce_limit``) and a
+  sim-time idle deadline (``flush_deadline``) so low-traffic channels
+  never stall a packet waiting for batch-mates;
+- each dispatch pops one batch, charges the modelled control +
+  crossbar transfer time, runs the batch engine
+  (:meth:`repro.mccp.mccp.Mccp.dispatch_jobs`), and fans completions
+  back out to per-packet :class:`CompletedTransfer` records with
+  correct per-packet latency accounting;
+- :meth:`process_packet` / :meth:`secure_packet_sync` are thin
+  wrappers over the same job abstraction at batch width 1, running on
+  the cycle-accurate simulated cores (``via_cores``) — the engine the
+  paper's timing numbers come from.
+
 Implemented as simulation processes so upload, core processing and
 download genuinely overlap, which is what the multi-core throughput
 numbers depend on.
@@ -12,28 +31,41 @@ numbers depend on.
 
 from __future__ import annotations
 
+from typing import Dict, List, Optional, Set
+
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
 
 from repro.core.params import Algorithm, Direction
 from repro.errors import ProtocolError
-from repro.mccp.mccp import Mccp
+from repro.mccp.channel import Channel, PacketJob
+from repro.mccp.mccp import BATCHABLE_ALGORITHMS, Mccp
 from repro.mccp.task_scheduler import PendingRequest
 from repro.radio.formatting import (
-    FormattedTask,
+    build_job,
+    expected_output_words,
     format_task,
+    job_transfer_words,
     parse_output,
 )
 from repro.radio.packet import Packet, SecuredPacket
-from repro.sim.kernel import Event, Simulator
+from repro.sim.kernel import Delay, Event, Simulator
 from repro.utils.bits import words32_to_bytes
 
 
 @dataclass
 class CompletedTransfer:
-    """One finished request with parsed outputs."""
+    """One finished packet job with parsed outputs.
 
-    request: PendingRequest
+    ``request`` is set for jobs that ran on the simulated cores;
+    batch-engine jobs carry ``request=None`` and reference their
+    :class:`PacketJob` instead.  ``channel_id``/``sequence`` identify
+    the packet either way.
+    """
+
+    request: Optional[PendingRequest] = None
+    job: Optional[PacketJob] = None
+    channel_id: int = -1
+    sequence: int = 0
     payload: bytes = b""
     tag: Optional[bytes] = None
     ok: bool = True
@@ -47,54 +79,236 @@ class CommController:
     def __init__(self, sim: Simulator, mccp: Mccp, seed: int = 0):
         self.sim = sim
         self.mccp = mccp
+        self._seed = seed
         self._nonce_counter = seed << 32
-        #: Finished transfers by request id.
+        #: Finished transfers: core-path requests key by request id,
+        #: batch-path jobs by a negative job counter (-1, -2, ...).
         self.completed: Dict[int, CompletedTransfer] = {}
-        #: Per-request latency records (submit -> download done).
+        #: Per-packet latency records (creation -> download done).
         self.latencies: List[int] = []
         self.auth_failures = 0
+        #: NoResourceError retries observed by job-pipeline callers
+        #: (radio-side backpressure; see SdrPlatform.run_workload).
+        self.backpressure_retries = 0
+        # -- flush-policy machinery (batched dispatch) -----------------
+        self._jobs_completed = 0
+        self._flush_scheduled: Set[int] = set()
+        self._draining: Set[int] = set()
+        self._drain_done: Dict[int, Event] = {}
+        self._deadlines: Dict[int, object] = {}
 
     # -- nonce management -------------------------------------------------------
 
     def next_nonce(self, algorithm: Algorithm) -> bytes:
         """Fresh, never-repeating nonce of the mode's radio length."""
         self._nonce_counter += 1
+        return self._encode_nonce(algorithm, self._nonce_counter)
+
+    def nonce_for(self, channel: Channel, sequence: int) -> bytes:
+        """Deterministic per-(channel, sequence) nonce.
+
+        Unlike the shared :meth:`next_nonce` counter, the value does
+        not depend on the interleaving of submissions across channels,
+        so a workload replayed through a different dataplane (per-packet
+        cores vs batched engine) secures every packet under the same
+        nonce — the property the byte-equivalence suite pins.  Unique
+        per (seed, channel, sequence), and kept disjoint from the
+        :meth:`next_nonce` counter space by the top marker bit (a
+        counter value would need seed >= 2^63 to set it), so the two
+        issuers can safely share a session key.
+        """
+        value = (
+            (1 << 95)  # marker: deterministic-nonce space
+            | ((self._seed & 0x7FFF) << 80)
+            | ((channel.channel_id & 0xFFFF) << 64)
+            | (sequence & 0xFFFFFFFFFFFFFFFF)
+        )
+        return self._encode_nonce(channel.algorithm, value)
+
+    @staticmethod
+    def _encode_nonce(algorithm: Algorithm, value: int) -> bytes:
         if algorithm is Algorithm.GCM:
-            return self._nonce_counter.to_bytes(12, "big")
+            return value.to_bytes(12, "big")
         if algorithm is Algorithm.CCM:
-            return self._nonce_counter.to_bytes(13, "big")
+            return value.to_bytes(13, "big")
         if algorithm is Algorithm.CTR:
-            return (self._nonce_counter << 16).to_bytes(16, "big")
+            return (value << 16).to_bytes(16, "big")
         raise ProtocolError(f"{algorithm!r} takes no nonce")
 
-    # -- formatting ---------------------------------------------------------------
+    # -- unified job submission ----------------------------------------------------
 
-    def format_packet(
+    def submit_job(
         self,
-        channel,
+        channel: Channel,
         packet: Packet,
-        direction: Direction,
+        direction: Direction = Direction.ENCRYPT,
         nonce: Optional[bytes] = None,
         tag: Optional[bytes] = None,
-        two_core: bool = False,
-    ) -> Tuple[Tuple[FormattedTask, ...], bytes]:
-        """Format *packet* for the channel's algorithm; returns (tasks, nonce)."""
-        nonce = nonce if nonce is not None else self.next_nonce(channel.algorithm)
-        result = format_task(
-            channel.algorithm,
-            channel.key_bits,
-            direction,
-            nonce=nonce,
-            aad=packet.header,
-            data=packet.payload,
-            tag_length=channel.tag_length,
-            tag=tag,
-            two_core=two_core,
-        )
-        tasks = result if isinstance(result, tuple) else (result,)
-        return tasks, nonce
+        completion: Optional[Event] = None,
+    ) -> PacketJob:
+        """Format *packet* into a job and enqueue it (non-blocking).
 
-    # -- end-to-end packet processing ----------------------------------------------
+        The batched half of the pipeline: the job joins its channel's
+        coalescing queue and the flush policy decides when it
+        dispatches.  Returns the job; its ``completion`` event triggers
+        with the :class:`CompletedTransfer` once the dispatch that
+        carries it drains.  Channels whose algorithm the batch engine
+        cannot run (CTR streams, two-core CCM splits) must go through
+        :meth:`process_packet` instead — the same job abstraction on
+        the cores engine.
+        """
+        if channel.algorithm not in BATCHABLE_ALGORITHMS:
+            raise ProtocolError(
+                f"channel {channel.channel_id} ({channel.algorithm.name}) "
+                "cannot use the batched dataplane; submit via process_packet"
+            )
+        if nonce is None:
+            nonce = self.nonce_for(channel, packet.sequence)
+        job = build_job(channel, packet, direction, nonce=nonce, tag=tag)
+        job.enqueued_cycle = self.sim.now
+        job.completion = (
+            completion
+            if completion is not None
+            else self.sim.event(f"job.ch{channel.channel_id}.s{packet.sequence}")
+        )
+        self.mccp.enqueue_job(channel.channel_id, job)
+        self._note_enqueue(channel)
+        return job
+
+    # -- flush-policy machinery ----------------------------------------------------
+
+    def _note_enqueue(self, channel: Channel) -> None:
+        """Apply the channel's flush policy after one enqueue."""
+        policy = channel.flush_policy
+        if channel.pending_count >= policy.coalesce_limit:
+            self._schedule_drain(channel, force=False, cause="size")
+        elif policy.flush_deadline is None:
+            pass  # size-only: caller drains explicitly at end of stream
+        elif policy.flush_deadline == 0:
+            self._schedule_drain(channel, force=True, cause="deadline")
+        else:
+            self._arm_deadline(channel)
+
+    def _arm_deadline(self, channel: Channel) -> None:
+        """Ensure a deadline wake-up exists for the oldest queued job."""
+        cid = channel.channel_id
+        if cid in self._deadlines:
+            return
+        anchor = channel.oldest_pending_cycle
+        if anchor is None:
+            return
+        due = max(self.sim.now, anchor + channel.flush_policy.flush_deadline)
+        self._deadlines[cid] = self.sim.call_at(due, self._deadline_fired, channel)
+
+    def _deadline_fired(self, channel: Channel) -> None:
+        self._deadlines.pop(channel.channel_id, None)
+        if channel.pending:
+            self._schedule_drain(channel, force=True, cause="deadline")
+
+    def _schedule_drain(self, channel: Channel, force: bool, cause: str) -> None:
+        """Spawn (at most one) drain process for *channel*."""
+        cid = channel.channel_id
+        if cid in self._flush_scheduled:
+            return
+        self._flush_scheduled.add(cid)
+
+        def proc():
+            try:
+                yield from self._drain_channel(channel, force=force, cause=cause)
+            finally:
+                self._flush_scheduled.discard(cid)
+                self._after_drain(channel)
+
+        self.sim.add_process(proc(), name=f"dataplane.flush.ch{cid}")
+
+    def _after_drain(self, channel: Channel) -> None:
+        """Re-apply the policy to whatever is still (or newly) queued."""
+        if channel.pending:
+            self._note_enqueue(channel)
+
+    def _drain_channel(self, channel: Channel, force: bool, cause: str):
+        """Process: pop and dispatch batches per the flush policy.
+
+        Each dispatch charges one scheduler control overhead (the
+        coalesced ENCRYPT/DECRYPT instruction — amortised across the
+        batch, which is the point of coalescing) plus the crossbar
+        word time of everything the batch moves, then runs the batch
+        engine and stamps per-packet completions.  ``force`` drains
+        under-filled batches (deadline/end-of-stream); otherwise only
+        full batches leave.
+        """
+        cid = channel.channel_id
+        while cid in self._draining:
+            # Another process is flushing this channel; sleep until its
+            # drain-done event instead of polling the sim clock.
+            yield self._drain_done[cid]
+        transfers: List[CompletedTransfer] = []
+        self._draining.add(cid)
+        self._drain_done[cid] = self.sim.event(f"dataplane.drained.ch{cid}")
+        try:
+            limit = channel.flush_policy.coalesce_limit
+            while channel.pending and (force or channel.pending_count >= limit):
+                batch = channel.take_batch()
+                # Popped jobs leave `pending` but must stay visible to
+                # close_channel until their completions fire — the
+                # dispatch is about to yield simulated time.
+                channel.in_flight += len(batch)
+                try:
+                    yield self.mccp.scheduler.overhead_delay()
+                    words = sum(job_transfer_words(job) for job in batch)
+                    yield Delay(words * self.mccp.timing.crossbar_word_cycles)
+                    results = self.mccp.dispatch_jobs(cid, batch)
+                    stats = channel.stats
+                    stats[f"flush_{cause}"] = stats.get(f"flush_{cause}", 0) + 1
+                    for job, result in zip(batch, results):
+                        transfers.append(self._complete_batch_job(job, result))
+                finally:
+                    channel.in_flight -= len(batch)
+        finally:
+            self._draining.discard(cid)
+            self._drain_done.pop(cid).trigger()
+        if not channel.pending and cid in self._deadlines:
+            self.sim.cancel(self._deadlines.pop(cid))
+        return transfers
+
+    def flush_now(self, channel: Channel):
+        """Process: force-drain everything queued on *channel*.
+
+        End-of-stream hook for size-only policies and workload tails —
+        waiting out an idle deadline after the last packet would charge
+        phantom latency.
+        """
+        transfers = yield from self._drain_channel(
+            channel, force=True, cause="forced"
+        )
+        return transfers
+
+    def _complete_batch_job(
+        self, job: PacketJob, result
+    ) -> CompletedTransfer:
+        """Fan one batch-engine outcome back out to a per-packet record."""
+        transfer = CompletedTransfer(
+            request=None,
+            job=job,
+            channel_id=job.channel_id,
+            sequence=job.sequence,
+            payload=result.payload,
+            tag=result.tag,
+            ok=result.ok,
+            download_done_cycle=self.sim.now,
+        )
+        job.completed_cycle = self.sim.now
+        job.transfer = transfer
+        self._jobs_completed += 1
+        self.completed[-self._jobs_completed] = transfer
+        self.latencies.append(self.sim.now - job.created_cycle)
+        if not result.ok:
+            self.auth_failures += 1
+        if job.completion is not None and not job.completion.triggered:
+            job.completion.trigger(transfer)
+        return transfer
+
+    # -- cores engine (cycle-accurate width-1 path) --------------------------------
 
     def process_packet(
         self,
@@ -106,20 +320,51 @@ class CommController:
         two_core: bool = False,
         completion: Optional[Event] = None,
     ):
-        """Generator process: format, submit, upload, await, download.
+        """Generator process: one packet through the pipeline, width 1.
 
-        Triggers *completion* (if given) with a
-        :class:`CompletedTransfer`; also records it in
-        :attr:`completed`.  Raises :class:`NoResourceError` out of the
-        submit step if no core is idle — callers that want queueing
+        Builds the same :class:`PacketJob` the batched path uses and
+        runs it on the simulated cores (format, submit, upload, await,
+        download) — the cycle-accurate engine.  Triggers *completion*
+        (if given) with a :class:`CompletedTransfer`; also records it
+        in :attr:`completed`.  Raises :class:`NoResourceError` out of
+        the submit step if no core is idle — callers that want queueing
         catch it and retry (see :class:`repro.radio.sdr_platform`).
         """
-        tasks, nonce = self.format_packet(
-            channel, packet, direction, nonce, tag, two_core
+        if nonce is None:
+            nonce = self.next_nonce(channel.algorithm)
+        job = build_job(
+            channel,
+            packet,
+            direction,
+            nonce=nonce,
+            tag=tag,
+            two_core=two_core,
+            via_cores=True,
         )
+        job.completion = completion
+        transfer = yield from self._run_core_job(channel, job)
+        return transfer
+
+    def _run_core_job(self, channel, job: PacketJob):
+        """Generator: carry one job out on the simulated cores."""
+        result = format_task(
+            channel.algorithm,
+            channel.key_bits,
+            job.direction,
+            nonce=job.nonce,
+            aad=job.aad,
+            data=job.data,
+            tag_length=channel.tag_length,
+            tag=job.tag,
+            two_core=job.two_core,
+        )
+        tasks = result if isinstance(result, tuple) else (result,)
+        job.enqueued_cycle = self.sim.now
         # ENCRYPT/DECRYPT control instruction (scheduler software cost).
         yield self.mccp.scheduler.overhead_delay()
-        request = self.mccp.submit(channel.channel_id, tasks, packet.priority)
+        request = self.mccp.submit(
+            channel.channel_id, tasks, job.priority, job=job
+        )
 
         # Upload every task's input stream (one word per crossbar-port
         # cycle).  Encrypt output is drained *while* the core runs: a
@@ -128,9 +373,9 @@ class CommController:
         # must also read as data becomes available.  Decrypt output is
         # only read after RETRIEVE DATA returns OK (section IV.C).
         out_task = tasks[-1]
-        nwords = self._expected_output_words(out_task)
+        nwords = expected_output_words(out_task)
         sink: List[int] = []
-        is_decrypt = direction is Direction.DECRYPT
+        is_decrypt = job.direction is Direction.DECRYPT
         download = None
         if not is_decrypt and nwords:
             download = self.mccp.crossbar.download_words(
@@ -147,7 +392,13 @@ class CommController:
         # RETRIEVE DATA.
         yield self.mccp.scheduler.overhead_delay()
         ok, _rid = self.mccp.scheduler.retrieve(request)
-        transfer = CompletedTransfer(request=request, ok=ok)
+        transfer = CompletedTransfer(
+            request=request,
+            job=job,
+            channel_id=job.channel_id,
+            sequence=job.sequence,
+            ok=ok,
+        )
         if ok:
             if is_decrypt and nwords:
                 download = self.mccp.crossbar.download_words(
@@ -164,25 +415,13 @@ class CommController:
         yield self.mccp.scheduler.overhead_delay()
         self.mccp.scheduler.transfer_done(request)
         transfer.download_done_cycle = self.sim.now
+        job.completed_cycle = self.sim.now
+        job.transfer = transfer
         self.completed[request.request_id] = transfer
-        self.latencies.append(self.sim.now - packet.created_cycle)
-        if completion is not None:
-            completion.trigger(transfer)
+        self.latencies.append(self.sim.now - job.created_cycle)
+        if job.completion is not None and not job.completion.triggered:
+            job.completion.trigger(transfer)
         return transfer
-
-    @staticmethod
-    def _expected_output_words(task: FormattedTask) -> int:
-        params = task.params
-        if params.algorithm is Algorithm.WHIRLPOOL:
-            return 16  # 64-byte digest
-        blocks = 0
-        if params.algorithm is Algorithm.CBC_MAC:
-            blocks = 1 if params.direction is Direction.ENCRYPT else 0
-        else:
-            blocks = params.data_blocks
-            if params.direction is Direction.ENCRYPT and params.tag_length:
-                blocks += 1
-        return 4 * blocks
 
     # -- convenience wrappers ------------------------------------------------------
 
@@ -192,18 +431,15 @@ class CommController:
     ) -> SecuredPacket:
         """Blocking helper: run the whole encrypt path for one packet."""
         done = self.sim.event("secure_packet")
-        tasks_nonce = {}
 
         def proc():
             transfer = yield from self.process_packet(
                 channel, packet, Direction.ENCRYPT, two_core=two_core,
-                completion=None,
             )
             done.trigger(transfer)
 
         self.sim.add_process(proc(), name="secure_packet")
         transfer: CompletedTransfer = self.sim.run_until_event(done, limit=limit)
-        del tasks_nonce
         return SecuredPacket(
             channel_id=packet.channel_id,
             header=packet.header,

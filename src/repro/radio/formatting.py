@@ -272,6 +272,80 @@ def format_task(
     raise ProtocolError(f"unknown algorithm {algorithm!r}")
 
 
+def build_job(
+    channel,
+    packet,
+    direction: Direction,
+    *,
+    nonce: bytes,
+    tag: Optional[bytes] = None,
+    two_core: bool = False,
+    via_cores: bool = False,
+):
+    """Format a radio packet into a dataplane :class:`PacketJob`.
+
+    The first step of the unified submission pipeline: the
+    communication controller turns the red-side packet into the one
+    job record both execution engines understand (header = AAD,
+    payload = data, per-packet nonce and QoS/latency bookkeeping).
+    The caller stamps ``created_cycle``/``enqueued_cycle``; formatting
+    knows nothing about simulated time.
+    """
+    from repro.mccp.channel import PacketJob
+
+    return PacketJob(
+        direction=direction,
+        nonce=bytes(nonce),
+        data=bytes(packet.payload),
+        aad=bytes(packet.header),
+        tag=None if tag is None else bytes(tag),
+        channel_id=channel.channel_id,
+        sequence=packet.sequence,
+        priority=packet.priority,
+        created_cycle=packet.created_cycle,
+        via_cores=via_cores,
+        two_core=two_core,
+    )
+
+
+def expected_output_words(task: FormattedTask) -> int:
+    """32-bit words a core emits for *task* (drain sizing).
+
+    Formatting knowledge, not protocol knowledge: the communication
+    controller sizes its FIFO drains with this, mirroring how the
+    hardware controller derives transfer lengths from the parameter
+    block it wrote.
+    """
+    params = task.params
+    if params.algorithm is Algorithm.WHIRLPOOL:
+        return 16  # 64-byte digest
+    if params.algorithm is Algorithm.CBC_MAC:
+        blocks = 1 if params.direction is Direction.ENCRYPT else 0
+    else:
+        blocks = params.data_blocks
+        if params.direction is Direction.ENCRYPT and params.tag_length:
+            blocks += 1
+    return 4 * blocks
+
+
+def job_transfer_words(job) -> int:
+    """32-bit words one batched job moves through the external port.
+
+    The coalesced-dispatch timing model: nonce/parameter material plus
+    AAD and data blocks in, payload blocks (and the tag on encrypt)
+    out.  Deliberately the same block arithmetic the per-packet
+    formatters use, so a width-1 batch charges transfer time comparable
+    to the core path's upload/download phases.
+    """
+    aad_blocks = ceil_div(len(job.aad), BLOCK_BYTES)
+    data_blocks = ceil_div(len(job.data), BLOCK_BYTES)
+    words_in = 4 * (1 + aad_blocks + data_blocks)  # nonce/param block + streams
+    words_out = 4 * data_blocks
+    if job.direction is Direction.ENCRYPT:
+        words_out += 4  # masked tag block
+    return words_in + words_out
+
+
 def parse_output(
     task: FormattedTask, output_blocks: List[bytes]
 ) -> Tuple[bytes, Optional[bytes]]:

@@ -3,24 +3,44 @@
 Assembles the full system: main controller (session-key provisioning
 into the key memory), the MCCP red/black boundary, the communication
 controller, and per-channel traffic.  The platform's
-:meth:`run_workload` is the workhorse of the multi-channel benchmarks:
-it replays generated traffic through the device, queueing packets when
-all cores are busy (the radio-side behaviour the paper leaves to the
-communication controller), and collects throughput/latency statistics.
+:meth:`run_workload` is the workhorse of the multi-channel benchmarks.
+It replays generated traffic through one of two dataplanes, both built
+on the same :class:`repro.mccp.channel.PacketJob` pipeline:
+
+- ``dataplane="cores"`` (default) — every packet runs the
+  cycle-accurate simulated-core path at batch width 1, blocking
+  per-channel and retrying on core exhaustion (the radio-side
+  queueing the paper leaves to the communication controller);
+- ``dataplane="batched"`` — packets are formatted into jobs and
+  enqueued per channel; the channel's :class:`repro.mccp.channel
+  .FlushPolicy` coalesces same-key jobs and dispatches them through
+  the multi-packet batch engine, with per-packet completions fanning
+  back out for latency accounting.  Channels the batch engine cannot
+  serve (CTR streams, two-core CCM) transparently fall back to the
+  cores path.
+
+Both dataplanes secure every packet under the same deterministic
+per-(channel, sequence) nonce, so they produce byte-identical secured
+packets — the equivalence the dataplane test suite pins.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence
 
+from repro.analysis.throughput import WorkloadReport
 from repro.core.params import Algorithm, Direction
 from repro.errors import NoResourceError
-from repro.mccp.mccp import Mccp
+from repro.mccp.channel import Channel, FlushPolicy
+from repro.mccp.mccp import BATCHABLE_ALGORITHMS, Mccp
 from repro.radio.comm_controller import CommController
+from repro.radio.packet import Packet
 from repro.radio.standards import STANDARD_PROFILES, RadioStandard
-from repro.radio.traffic import TrafficGenerator, TrafficPattern
+from repro.radio.traffic import GeneratedPacket, TrafficGenerator, TrafficPattern
 from repro.sim.kernel import Delay, Simulator
+
+__all__ = ["ChannelConfig", "SdrPlatform", "WorkloadReport"]
 
 
 @dataclass
@@ -33,36 +53,20 @@ class ChannelConfig:
     packets: int = 8
     priority: int = 1
     two_core_ccm: bool = False
+    #: Per-channel flush-policy override for the batched dataplane
+    #: (None = the run_workload-level policy, or the channel default).
+    flush_policy: Optional[FlushPolicy] = None
 
 
-@dataclass
-class WorkloadReport:
-    """Aggregate results of a workload run."""
+def _arrived_packet(item: GeneratedPacket, now: int) -> Packet:
+    """Re-stamp creation at actual arrival for latency accounting.
 
-    total_cycles: int
-    packets_done: int
-    payload_bytes: int
-    latencies: List[int] = field(default_factory=list)
-    per_channel_bytes: Dict[int, int] = field(default_factory=dict)
-
-    def throughput_mbps(self, clock_hz: float = 190e6) -> float:
-        """Aggregate payload throughput at *clock_hz*."""
-        if self.total_cycles == 0:
-            return 0.0
-        seconds = self.total_cycles / clock_hz
-        return 8 * self.payload_bytes / seconds / 1e6
-
-    def mean_latency_us(self, clock_hz: float = 190e6) -> float:
-        """Mean packet latency in microseconds."""
-        if not self.latencies:
-            return 0.0
-        return sum(self.latencies) / len(self.latencies) / clock_hz * 1e6
-
-    def max_latency_us(self, clock_hz: float = 190e6) -> float:
-        """Worst-case packet latency in microseconds."""
-        if not self.latencies:
-            return 0.0
-        return max(self.latencies) / clock_hz * 1e6
+    The single place a packet's ``created_cycle`` is set on its way
+    into the dataplane — ``dataclasses.replace`` keeps every other
+    field, so adding a field to :class:`Packet` can't silently drop it
+    here.
+    """
+    return replace(item.packet, created_cycle=now)
 
 
 class SdrPlatform:
@@ -100,13 +104,35 @@ class SdrPlatform:
         self,
         configs: Sequence[ChannelConfig],
         limit: int = 2_000_000_000,
+        dataplane: str = "cores",
+        flush_policy: Optional[FlushPolicy] = None,
     ) -> WorkloadReport:
-        """Replay every channel's traffic to completion; returns the report."""
+        """Replay every channel's traffic to completion; returns the report.
+
+        *dataplane* selects the execution engine (see module
+        docstring); *flush_policy* overrides every provisioned
+        channel's coalescing knobs for this run (per-config policies
+        win).  Both engines report into the same
+        :class:`WorkloadReport`, which additionally carries the queue
+        depth / backpressure statistics of the batched pipeline.
+        """
+        if dataplane not in ("cores", "batched"):
+            raise ValueError(f"unknown dataplane {dataplane!r}")
         report = WorkloadReport(total_cycles=0, packets_done=0, payload_bytes=0)
         done_events = []
+        channels: List[Channel] = []
+        # The scheduler/comm counters are platform-cumulative; snapshot
+        # them so a reused platform reports only this run's activity.
+        base_submits = self.mccp.scheduler.requests_submitted
+        base_retries = self.comm.backpressure_retries
+        base_latencies = len(self.comm.latencies)
 
         for config in configs:
             channel, profile = self.provision_channel(config)
+            channels.append(channel)
+            policy = config.flush_policy or flush_policy
+            if policy is not None:
+                channel.flush_policy = replace(policy)
             generator = TrafficGenerator(
                 channel_id=channel.channel_id,
                 profile=profile,
@@ -117,48 +143,102 @@ class SdrPlatform:
             schedule = generator.generate(config.packets)
             finished = self.sim.event(f"chan{channel.channel_id}.drained")
             done_events.append(finished)
+            batched = (
+                dataplane == "batched"
+                and channel.algorithm in BATCHABLE_ALGORITHMS
+                and not (
+                    config.two_core_ccm and channel.algorithm is Algorithm.CCM
+                )
+            )
+            process = (
+                self._batched_channel_process
+                if batched
+                else self._core_channel_process
+            )
             self.sim.add_process(
-                self._channel_process(channel, config, schedule, report, finished),
+                process(channel, config, schedule, report, finished),
                 name=f"chan{channel.channel_id}",
             )
 
         for event in done_events:
             self.sim.run_until_event(event, limit=limit)
         report.total_cycles = self.sim.now
-        report.latencies = list(self.comm.latencies)
+        report.latencies = list(self.comm.latencies[base_latencies:])
+        report.core_submits = (
+            self.mccp.scheduler.requests_submitted - base_submits
+        )
+        report.backpressure_retries = (
+            self.comm.backpressure_retries - base_retries
+        )
+        for channel in channels:
+            stats = channel.stats
+            report.per_channel_queue_peak[channel.channel_id] = stats.get(
+                "queue_peak", 0
+            )
+            report.per_channel_batches[channel.channel_id] = stats.get(
+                "batches", 0
+            )
+            for cause in ("size", "deadline", "forced"):
+                count = stats.get(f"flush_{cause}", 0)
+                if count:
+                    report.flush_causes[cause] = (
+                        report.flush_causes.get(cause, 0) + count
+                    )
         return report
 
-    def _channel_process(self, channel, config, schedule, report, finished):
+    # -- channel processes ----------------------------------------------------------
+
+    def _account(self, report: WorkloadReport, channel: Channel, nbytes: int):
+        report.packets_done += 1
+        report.payload_bytes += nbytes
+        report.per_channel_bytes[channel.channel_id] = (
+            report.per_channel_bytes.get(channel.channel_id, 0) + nbytes
+        )
+
+    def _core_channel_process(self, channel, config, schedule, report, finished):
+        """Width-1 pipeline on the simulated cores (cycle model)."""
         for item in schedule:
             if self.sim.now < item.arrival_cycle:
                 yield Delay(item.arrival_cycle - self.sim.now)
-            packet = item.packet
-            # Re-stamp creation at actual arrival for latency accounting.
-            packet = type(packet)(
-                channel_id=packet.channel_id,
-                header=packet.header,
-                payload=packet.payload,
-                sequence=packet.sequence,
-                created_cycle=self.sim.now,
-                priority=packet.priority,
-            )
+            packet = _arrived_packet(item, self.sim.now)
+            nonce = self.comm.nonce_for(channel, packet.sequence)
             while True:
                 try:
-                    transfer = yield from self.comm.process_packet(
+                    yield from self.comm.process_packet(
                         channel,
                         packet,
                         Direction.ENCRYPT,
+                        nonce=nonce,
                         two_core=config.two_core_ccm
                         and channel.algorithm is Algorithm.CCM,
                     )
                     break
                 except NoResourceError:
                     # All cores busy: radio-side queueing, retry shortly.
+                    self.comm.backpressure_retries += 1
                     yield Delay(50)
-            report.packets_done += 1
-            report.payload_bytes += len(packet.payload)
-            report.per_channel_bytes[channel.channel_id] = (
-                report.per_channel_bytes.get(channel.channel_id, 0)
-                + len(packet.payload)
+            self._account(report, channel, len(packet.payload))
+        finished.trigger()
+
+    def _batched_channel_process(self, channel, config, schedule, report, finished):
+        """Coalescing pipeline through the batch engine.
+
+        Packets become jobs as they arrive — no per-packet blocking —
+        and the flush policy (size threshold + idle deadline) decides
+        when each batch dispatches.  The tail is force-flushed so the
+        last under-filled batch never waits out its deadline.
+        """
+        jobs = []
+        for item in schedule:
+            if self.sim.now < item.arrival_cycle:
+                yield Delay(item.arrival_cycle - self.sim.now)
+            packet = _arrived_packet(item, self.sim.now)
+            jobs.append(
+                self.comm.submit_job(channel, packet, Direction.ENCRYPT)
             )
+        yield from self.comm.flush_now(channel)
+        for job in jobs:
+            if job.transfer is None:
+                yield job.completion
+            self._account(report, channel, len(job.data))
         finished.trigger()

@@ -126,8 +126,22 @@ class CryptoUnit:
         self.done = PulseWire(sim, f"{name}.done")
         self.busy = False
         self._queue: list = []
+        self._idle_callbacks: list = []
         #: Issued-instruction count by opcode name.
         self.op_counts: dict = {}
+
+    def call_when_idle(self, fn: "Callable[[], None]") -> None:
+        """Run *fn* once the CU is idle with an empty issue queue.
+
+        Runs immediately if already idle.  Unlike waiting on the
+        ``done`` pulse wire, this cannot consume (or be fooled by) a
+        latched done pulse, so it is safe for core-level bookkeeping
+        that must not race the firmware's HALT protocol.
+        """
+        if not self.busy and not self._queue:
+            fn()
+        else:
+            self._idle_callbacks.append(fn)
 
     # -- controller-facing API ---------------------------------------------
 
@@ -265,3 +279,7 @@ class CryptoUnit:
             self._issue(self._queue.pop(0))
         else:
             self.done.pulse()
+            if self._idle_callbacks:
+                callbacks, self._idle_callbacks = self._idle_callbacks, []
+                for fn in callbacks:
+                    fn()

@@ -91,8 +91,16 @@ class WhirlpoolUnit:
         self.done = PulseWire(sim, f"{name}.done")
         self.busy = False
         self._queue: list = []
+        self._idle_callbacks: list = []
         #: Compress invocations (one per 512-bit block).
         self.blocks_processed = 0
+
+    def call_when_idle(self, fn) -> None:
+        """Run *fn* once idle with an empty queue (see CryptoUnit)."""
+        if not self.busy and not self._queue:
+            fn()
+        else:
+            self._idle_callbacks.append(fn)
 
     # -- controller-facing API (same shape as CryptoUnit) -------------------
 
@@ -186,3 +194,7 @@ class WhirlpoolUnit:
             self._issue(self._queue.pop(0))
         else:
             self.done.pulse()
+            if self._idle_callbacks:
+                callbacks, self._idle_callbacks = self._idle_callbacks, []
+                for fn in callbacks:
+                    fn()

@@ -104,3 +104,45 @@ def test_core_reconfigure_refused_while_busy():
     core.assign_task(TaskParams(algorithm=Algorithm.CTR, data_blocks=1))
     with pytest.raises(CoreError):
         core.use_whirlpool_personality(True)
+
+
+def test_premature_result_defers_until_cu_drains(rb):
+    """A program that publishes its result without the drain fence must
+    not mark the core reassignable while tail STOREs are queued.
+
+    The shipped firmware always emits ``FW.drain_cu`` before the result
+    write; this pins the core-level backstop for custom programs (and
+    documents the pre-fence failure: under FIFO backpressure the
+    scheduler could grab a core mid-drain and hit ``reset while busy``).
+    """
+    from repro.core.crypto_core import CryptoCore
+    from repro.core.firmware.builder import FW
+    from repro.isa.assembler import assemble
+    from repro.sim.kernel import Simulator
+    from repro.unit.isa import CuOp
+    from repro.unit.timing import DEFAULT_TIMING
+
+    fw = FW("premature result")
+    fw.pred(CuOp.XOR, 0, 1)
+    fw.pred(CuOp.XOR, 0, 1)
+    fw.pred(CuOp.STORE, 1)
+    # No drain_cu: result goes out while the XOR/STORE tail is queued.
+    fw.raw("    LOAD   s3, 1")
+    fw.raw("    OUTPUT s3, 32")
+    fw.raw("    RETURN")
+    program = assemble(fw.source(), "premature")
+
+    sim = Simulator()
+    core = CryptoCore(sim, DEFAULT_TIMING)
+    core.key_cache.install(expand_key(bytes(16)), 128)
+    core.unit.bank.write(0, rb(16))
+    core.unit.bank.write(1, rb(16))
+    done = core.assign_task(
+        TaskParams(algorithm=Algorithm.CTR, data_blocks=1), program=program
+    )
+    sim.run()
+    assert done.triggered and not core.busy
+    # Completion waited for the drain: the STORE's words are in the
+    # output FIFO by the time the task reports done.
+    assert core.out_fifo.can_pop()
+    assert not core.unit.busy and not core.unit._queue

@@ -80,16 +80,23 @@ def test_every_program_reports_result():
         assert re.search(r"OUTPUT s3, 32", src), name  # P_RESULT = 0x20
 
 
-def test_halt_guards_every_result():
-    """A CU-idle HALT must precede the first result write (race guard).
+def test_drain_fence_guards_every_result():
+    """The CU-drain fence must precede the first result write.
 
-    The AUTH_FAIL branch shares the HALT emitted by
-    check_equ_and_finish, so only the *first* result write needs a HALT
-    in its backward window; the fail label follows within a few lines.
+    A bare HALT is not a sufficient guard: the done wire latches one
+    pulse, and under FIFO-stall backpressure a stale pulse can wake
+    the HALT while tail STOREs are still queued — publishing the
+    result then frees the core for reassignment mid-drain (the
+    ``reset while busy`` crash).  The fence is NOP + HALT + a status
+    poll on the CU-busy bit (see ``FW.drain_cu``).  The AUTH_FAIL
+    branch shares the fence emitted by check_equ_and_finish, so only
+    the *first* result write needs one in its backward window.
     """
     for name, src in ALL_SOURCES.items():
         lines = [l.strip() for l in src.splitlines()]
         first = next(
             i for i, l in enumerate(lines) if l.startswith("OUTPUT s3, 32")
         )
-        assert "HALT" in " ".join(lines[max(0, first - 8): first]), name
+        window = " ".join(lines[max(0, first - 14): first])
+        assert "HALT" in window, name
+        assert "cu_drain_" in window, name  # busy-poll loop label

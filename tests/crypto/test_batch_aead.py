@@ -232,3 +232,110 @@ def test_ghash_update_blocks_rides_hpower():
     )
     reference = GHash(h, use_fast=False).update_blocks(data).digest()
     assert one_shot == split == reference
+
+
+# -- decrypt early-reject (verify-first GCM opens) -------------------------------
+
+
+def _sealed_gcm_batch(count=10, seed=0xE4):
+    rng = random.Random(seed)
+    key = rng.randbytes(16)
+    packets = [
+        (
+            rng.randbytes(12),
+            rng.randbytes(rng.choice((64, 300, 1024, 2048))),
+            rng.randbytes(16),
+        )
+        for _ in range(count)
+    ]
+    sealed = gcm_seal_many(key, packets)
+    opens = [
+        (iv, ct, tag, aad)
+        for (iv, _, aad), (ct, tag) in zip(packets, sealed)
+    ]
+    return key, packets, opens
+
+
+def test_gcm_open_many_failed_lanes_do_not_perturb_survivors():
+    key, packets, opens = _sealed_gcm_batch()
+    baseline = gcm_open_many(key, opens)
+    assert all(pt is not None for pt in baseline)
+    forged = [2, 5, 9]
+    tampered = [
+        (iv, ct, bytes(len(tag)) if i in forged else tag, aad)
+        for i, (iv, ct, tag, aad) in enumerate(opens)
+    ]
+    opened = gcm_open_many(key, tampered)
+    for i, (pt, (_, plaintext, _)) in enumerate(zip(opened, packets)):
+        if i in forged:
+            assert pt is None
+        else:
+            # Survivors decrypt exactly as in the all-valid batch even
+            # though the forged lanes were dropped from the keystream
+            # sweep (lane packing changed underneath them).
+            assert pt == plaintext == baseline[i]
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="vector path exercises the fused sweep")
+def test_gcm_open_many_skips_keystream_for_failed_lanes(monkeypatch):
+    """Verify-first: forged packets never join the payload sweep."""
+    from repro.crypto.fast import batch as batch_mod
+
+    key, packets, opens = _sealed_gcm_batch(count=6, seed=0xE5)
+    forged = {1, 4}
+    tampered = [
+        (iv, ct, bytes(len(tag)) if i in forged else tag, aad)
+        for i, (iv, ct, tag, aad) in enumerate(opens)
+    ]
+    sweeps = []
+    real = batch_mod._fused_keystream
+
+    def spy(round_keys, specs):
+        sweeps.append(list(specs))
+        return real(round_keys, specs)
+
+    monkeypatch.setattr(batch_mod, "_fused_keystream", spy)
+    opened = batch_mod.gcm_open_many(key, tampered)
+    assert [pt is None for pt in opened] == [i in forged for i in range(6)]
+    # Sweep 1: one E(J_0) mask block per packet.  Sweep 2: payload
+    # keystream for the four survivors only.
+    assert len(sweeps) == 2
+    assert [nblocks for _, _, nblocks in sweeps[0]] == [1] * 6
+    survivor_blocks = [
+        -(-len(ct) // 16)
+        for i, (_, ct, _, _) in enumerate(tampered)
+        if i not in forged
+    ]
+    assert [nblocks for _, _, nblocks in sweeps[1]] == survivor_blocks
+
+
+def test_gcm_open_many_all_forged_runs_no_payload_sweep():
+    key, _, opens = _sealed_gcm_batch(count=4, seed=0xE6)
+    tampered = [(iv, ct, bytes(len(tag)), aad) for iv, ct, tag, aad in opens]
+    assert gcm_open_many(key, tampered) == [None] * 4
+
+
+def test_ccm_open_many_failed_lanes_do_not_perturb_survivors():
+    rng = random.Random(0xE7)
+    key = rng.randbytes(16)
+    packets = [
+        (rng.randbytes(13), rng.randbytes(rng.choice((32, 500, 2048))), rng.randbytes(8))
+        for _ in range(9)
+    ]
+    sealed = ccm_seal_many(key, packets, 8)
+    opens = [
+        (nonce, ct, tag, aad)
+        for (nonce, _, aad), (ct, tag) in zip(packets, sealed)
+    ]
+    baseline = ccm_open_many(key, opens)
+    forged = {0, 8}
+    tampered = [
+        (nonce, ct, bytes(8) if i in forged else tag, aad)
+        for i, (nonce, ct, tag, aad) in enumerate(opens)
+    ]
+    opened = ccm_open_many(key, tampered)
+    for i, (pt, (_, plaintext, _)) in enumerate(zip(opened, packets)):
+        if i in forged:
+            assert pt is None
+        else:
+            assert pt == plaintext == baseline[i]

@@ -18,6 +18,8 @@ EXPECTED_BUILTINS = {
     "key_churn",
     "reconfig_under_load",
     "bench_kernels",
+    "batch_aead",
+    "radio_batch",
 }
 
 

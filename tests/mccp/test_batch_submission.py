@@ -187,3 +187,40 @@ def test_close_rejects_pending_batch_packets(mccp):
         mccp.close_channel(channel.channel_id)
     mccp.flush_channel(channel.channel_id)
     mccp.close_channel(channel.channel_id)
+
+
+def test_enqueue_job_and_dispatch_jobs_stamp_results(mccp):
+    """The job-level API underneath enqueue_packet/flush_channel."""
+    from repro.mccp.channel import PacketJob
+
+    channel = mccp.open_channel(Algorithm.GCM, 1)
+    jobs = [
+        PacketJob(
+            direction=Direction.ENCRYPT,
+            nonce=_nonce(i, 12),
+            data=bytes([i]) * 20,
+            sequence=i,
+        )
+        for i in range(3)
+    ]
+    for job in jobs:
+        mccp.enqueue_job(channel.channel_id, job)
+        assert job.channel_id == channel.channel_id
+    batch = channel.take_batch()
+    results = mccp.dispatch_jobs(channel.channel_id, batch)
+    for job, result in zip(jobs, results):
+        assert job.result is result and result.ok
+        expected = gcm_encrypt(KEY, job.nonce, job.data, b"", 16, False)
+        assert (result.payload, result.tag) == expected
+    assert channel.stats["batches"] == 1
+    assert channel.stats["queue_peak"] == 3
+
+
+def test_coalesce_limit_property_tracks_flush_policy(mccp):
+    channel = mccp.open_channel(Algorithm.GCM, 1)
+    channel.coalesce_limit = 4
+    assert channel.flush_policy.coalesce_limit == 4
+    channel.flush_policy.coalesce_limit = 9
+    assert channel.coalesce_limit == 9
+    channel.coalesce_limit = 0  # clamped to a sane floor
+    assert channel.coalesce_limit == 1

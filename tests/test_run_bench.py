@@ -42,6 +42,7 @@ def test_run_bench_quick_emits_snapshot(tmp_path):
         "ccm_2kb",
         "gcm_2kb_batch32_per_packet",
         "ccm_2kb_batch32_per_packet",
+        "radio_ccm_2kb_batch32_per_packet",
     }
     assert all(ratio > 0 for ratio in snapshot["speedups"].values())
 

@@ -194,3 +194,22 @@ def test_intercore_transfer(rb):
     sim.run()
     assert b.bank.read(1) == block
     assert b.ic_in.transfers == 1
+
+
+def test_call_when_idle_waits_for_queue_drain(rb):
+    """Idle callbacks fire only after the issue queue empties — the
+    core's task-completion hand-off must not race queued tail STOREs
+    (the ``reset while busy`` hazard under load)."""
+    sim, unit, _, out_f = make_unit()
+    unit.bank.write(0, rb(16))
+    unit.start(cu_encode(CuOp.XOR, 0, 1))
+    unit.start(cu_encode(CuOp.STORE, 1))   # queued behind the XOR
+    fired = []
+    unit.call_when_idle(lambda: fired.append(sim.now))
+    assert not fired  # still busy, callback deferred
+    sim.run()
+    assert fired and not unit.busy and not unit._queue
+    assert out_f.can_pop()  # the STORE landed before the callback
+    # Already idle: runs immediately.
+    unit.call_when_idle(lambda: fired.append(-1))
+    assert fired[-1] == -1
