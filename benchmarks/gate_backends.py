@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""CI gate: the thread backend must beat inline on multi-core runners.
+
+Runs the ``backend_sweep`` scenario's exact measurement
+(:func:`repro.experiments.scenarios.backends.measure_backends` — the
+mixed seal+open 2 KB CCM batch on the inline, thread and process
+backends) and enforces the acceptance ratio::
+
+    PYTHONPATH=src python benchmarks/gate_backends.py \\
+        --min-thread-speedup 1.3 --width 32
+
+Exit status 1 when thread/inline falls below the threshold — but only
+on hosts with >= 2 CPUs (a 1-CPU runner cannot overlap numpy sweeps,
+so the gate reports and passes there; the committed ``BENCH_*.json``
+records ``cpu_count`` for the same reason).  The process backend is
+always warn-only: it pays pickling on every shard, which small batches
+do not amortise — the point of recording it is the trend, not a floor.
+Byte equality across the three backends is checked unconditionally and
+fails hard anywhere.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+if __package__ is None and __name__ == "__main__":  # script invocation
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.experiments.scenarios.backends import measure_backends
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--min-thread-speedup", type=float, default=1.3,
+        help="required thread-over-inline packets/s ratio (>= 2 CPUs only)",
+    )
+    parser.add_argument(
+        "--width", type=int, default=32, help="packets per coalesced batch"
+    )
+    parser.add_argument(
+        "--seconds", type=float, default=0.5,
+        help="measurement window per backend",
+    )
+    args = parser.parse_args(argv)
+
+    measured = measure_backends(args.width, args.seconds)
+    cpu_count = measured["cpu_count"]
+    print(f"cpu_count={cpu_count} width={args.width} window={args.seconds}s")
+    for name, rate in measured["rates"].items():
+        print(
+            f"{name:8s} {rate:10.1f} packets/s "
+            f"({measured['workers'][name]} worker(s))"
+        )
+    if measured["process_degraded"]:
+        print(f"note: process backend degraded: {measured['process_degraded']}")
+
+    if not measured["correct"]:
+        print("FAIL: backends disagree byte-for-byte")
+        return 1
+
+    rates = measured["rates"]
+    thread_speedup = rates["thread"] / rates["inline"]
+    process_speedup = rates["process"] / rates["inline"]
+    print(f"thread  speedup over inline: {thread_speedup:.2f}x")
+    print(f"process speedup over inline: {process_speedup:.2f}x (warn-only)")
+    if process_speedup < 1.0:
+        print(
+            "warn: process backend slower than inline "
+            "(expected for small batches: per-shard pickling)"
+        )
+    if cpu_count < 2:
+        print(
+            f"gate skipped: {cpu_count} CPU(s) cannot overlap sweeps "
+            f"(threshold {args.min_thread_speedup:.2f}x applies on >= 2)"
+        )
+        return 0
+    if thread_speedup < args.min_thread_speedup:
+        print(
+            f"FAIL: thread speedup {thread_speedup:.2f}x < "
+            f"{args.min_thread_speedup:.2f}x"
+        )
+        return 1
+    print("PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

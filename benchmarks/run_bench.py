@@ -21,6 +21,7 @@ from __future__ import annotations
 import argparse
 import datetime as _dt
 import json
+import os
 import platform
 import re
 import sys
@@ -31,7 +32,8 @@ if __package__ is None and __name__ == "__main__":  # script invocation
 
 from repro.crypto.fast import fast_enabled
 from repro.crypto.fast.aes_vector import HAVE_NUMPY
-from repro.experiments.kernels import build_kernels, measure
+from repro.crypto.fast.exec import default_backend
+from repro.experiments.kernels import bench_backend, build_kernels, measure
 
 
 def main(argv=None) -> Path:
@@ -79,9 +81,22 @@ def main(argv=None) -> Path:
                 speedups[f"{batch[1]}_batch{batch[2]}_per_packet"] = round(
                     results[name]["ops_per_s"] * int(batch[2]) / base, 2
                 )
+        # Backend-parametrized batch kernels: speedup over the inline
+        # batch kernel with the same packets (the CI gate's numbers).
+        pooled = re.fullmatch(r"(.+_batch\d+)_(thread|process)_fast", name)
+        if pooled and f"{pooled[1]}_fast" in results:
+            base = results[f"{pooled[1]}_fast"]["ops_per_s"]
+            if base:
+                speedups[f"{pooled[1]}_{pooled[2]}_over_inline"] = round(
+                    results[name]["ops_per_s"] / base, 2
+                )
     for pair, ratio in sorted(speedups.items()):
         print(f"speedup {pair:34s} {ratio:8.1f}x")
 
+    # Execution-backend context: cross-machine comparisons of the
+    # *_thread/*_process kernels are meaningless without the worker
+    # and CPU counts (a 1-CPU runner can never beat inline).
+    process_backend = bench_backend("process")
     snapshot = {
         "date": _dt.date.today().isoformat(),
         "python": platform.python_version(),
@@ -89,6 +104,13 @@ def main(argv=None) -> Path:
         "fast_enabled": fast_enabled(),
         "have_numpy": HAVE_NUMPY,
         "window_seconds": window,
+        "backend": default_backend().name,
+        "backend_workers": {
+            "thread": bench_backend("thread").workers,
+            "process": process_backend.workers,
+        },
+        "process_degraded": process_backend.degraded_reason,
+        "cpu_count": os.cpu_count(),
         "benchmarks": results,
         "speedups": speedups,
     }

@@ -46,6 +46,17 @@ class WorkloadReport:
     #: ENCRYPT/DECRYPT requests the task scheduler ran on cores (0 when
     #: every packet flowed through the batch engine).
     core_submits: int = 0
+    # -- receive-side traffic (rx_fraction workloads) ------------------
+    #: Packets generated as receive-side (DECRYPT) traffic, including
+    #: the ones the channel model then lost.
+    rx_packets: int = 0
+    #: Rx packets lost before arrival (never entered the dataplane;
+    #: excluded from ``packets_done``).
+    rx_lost: int = 0
+    #: Packets that failed tag verification (corrupted rx traffic);
+    #: each was rejected without releasing plaintext or disturbing its
+    #: batch-mates.
+    auth_failures: int = 0
 
     def throughput_mbps(self, clock_hz: float = CLOCK_HZ_DEFAULT) -> float:
         """Aggregate payload throughput at *clock_hz*."""

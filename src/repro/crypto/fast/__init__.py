@@ -81,6 +81,15 @@ def clear_caches() -> None:
     clear_vector_caches()
 
 
+if hasattr(os, "register_at_fork"):
+    # Fork safety: a child must never inherit a parent LRU that a
+    # sibling thread had mid-mutation (ProcessPoolBackend forks while
+    # thread shards may be warming caches).  Children start cold and
+    # rebuild lazily; the pool initializer repeats this for spawn-based
+    # pools, where there is no fork to hook.
+    os.register_at_fork(after_in_child=clear_caches)
+
+
 def encrypt_block_dispatch(block, round_keys, use_fast: Optional[bool] = None):
     """Encrypt one block via the T-table or reference path per the switch."""
     if fast_enabled(use_fast):
@@ -129,6 +138,17 @@ from repro.crypto.fast.batch import (  # noqa: E402
     gcm_open_many,
     gcm_seal_many,
     gmac_many,
+    seal_open_many,
+)
+from repro.crypto.fast.exec import (  # noqa: E402
+    ExecutionBackend,
+    InlineBackend,
+    ProcessPoolBackend,
+    ThreadPoolBackend,
+    default_backend,
+    make_backend,
+    resolve_backend,
+    set_default_backend,
 )
 
 __all__ = [
@@ -157,4 +177,13 @@ __all__ = [
     "gcm_seal_many",
     "gcm_open_many",
     "gmac_many",
+    "seal_open_many",
+    "ExecutionBackend",
+    "InlineBackend",
+    "ThreadPoolBackend",
+    "ProcessPoolBackend",
+    "make_backend",
+    "resolve_backend",
+    "default_backend",
+    "set_default_backend",
 ]

@@ -35,6 +35,16 @@ Every output is byte-identical to the sequential one-call APIs (and so
 to the reference implementations); the equivalence suite pins
 batch == sequential == reference across modes, packet counts and
 ragged length mixes.
+
+Every ``*_many`` entry point additionally accepts a ``backend=``
+(:mod:`repro.crypto.fast.exec`): packets shard into contiguous spans,
+each span runs the unsharded engine on a worker, and the span results
+are concatenated in span order — so the merged output is positionally
+and byte-identical to the inline run (per-packet outputs never depend
+on lane packing).  :func:`seal_open_many` is the mixed-direction form
+the MCCP dispatch uses: seal shards and open shards of one coalesced
+batch join a single backend pass, so the two sweeps genuinely overlap
+on thread/process workers.
 """
 
 from __future__ import annotations
@@ -58,6 +68,7 @@ from repro.crypto.fast.bulk import (
     gcm_seal,
     xor_data,
 )
+from repro.crypto.fast.exec import INLINE, BackendSpec, resolve_backend
 from repro.errors import BlockSizeError, TagError
 from repro.utils.bytesops import pad_zeros
 
@@ -85,6 +96,112 @@ def gather(data: Buffers) -> bytes:
     if isinstance(data, (bytes, bytearray, memoryview)):
         return bytes(data)
     return b"".join(bytes(segment) for segment in data)
+
+
+# -- backend sharding ------------------------------------------------------
+#
+# Every packet's outputs depend only on its own (nonce, data, aad[, tag])
+# under the shared key — never on which lanes it shares a sweep with —
+# so a batch may split into contiguous spans, each span run the inline
+# engine on any worker, and the span results concatenate back in span
+# order, positionally and byte-identical to the unsharded run.  Shard
+# workers are top-level functions over plain-bytes packets (pickle for
+# the process backend) and execute with ``backend=INLINE`` so a worker
+# can never recursively re-enter its own pool.
+
+
+def _norm_seal_packet(packet: Sequence) -> Tuple[bytes, bytes, bytes]:
+    """``(nonce, data, aad)`` as plain bytes (pickle-safe, no views)."""
+    return (
+        bytes(packet[0]),
+        gather(packet[1]),
+        gather(packet[2]) if len(packet) > 2 else b"",
+    )
+
+
+def _norm_open_packet(packet: Sequence) -> Tuple[bytes, bytes, bytes, bytes]:
+    """``(nonce, data, tag, aad)`` as plain bytes."""
+    return (
+        bytes(packet[0]),
+        gather(packet[1]),
+        bytes(packet[2]),
+        gather(packet[3]) if len(packet) > 3 else b"",
+    )
+
+
+def _seal_shard(mode: str, key: bytes, packets, tag_length: int):
+    """One span of a sharded seal batch, run inline on a worker."""
+    return _SEAL_MANY[mode](key, packets, tag_length, backend=INLINE)
+
+
+def _open_shard(mode: str, key: bytes, packets):
+    """One span of a sharded open batch, run inline on a worker."""
+    return _OPEN_MANY[mode](key, packets, backend=INLINE)
+
+
+def _run_sharded(backend, mode: str, key: bytes, seal_packets, open_packets,
+                 tag_length: int):
+    """Shard both direction lists into one backend pass; merge in order.
+
+    Returns ``(sealed, opened)`` — each positionally identical to the
+    inline ``*_many`` result for its list.  Returns None when the work
+    collapses to a single call (caller falls through to inline): two
+    single-span direction halves still ship as two calls, so a small
+    mixed dispatch's seal and open sweeps overlap on the workers even
+    when neither half is wide enough to shard by itself.
+    """
+    seal_spans = backend.shard_spans(len(seal_packets))
+    open_spans = backend.shard_spans(len(open_packets))
+    if len(seal_spans) + len(open_spans) <= 1:
+        return None
+    key = bytes(key)
+    seals = [_norm_seal_packet(p) for p in seal_packets]
+    opens = [_norm_open_packet(p) for p in open_packets]
+    calls = [
+        (_seal_shard, (mode, key, seals[start:stop], tag_length))
+        for start, stop in seal_spans
+    ] + [(_open_shard, (mode, key, opens[start:stop])) for start, stop in open_spans]
+    shards = backend.run(calls)
+    sealed: List[Tuple[bytes, bytes]] = []
+    for shard in shards[: len(seal_spans)]:
+        sealed.extend(shard)
+    opened: List[Optional[bytes]] = []
+    for shard in shards[len(seal_spans) :]:
+        opened.extend(shard)
+    return sealed, opened
+
+
+def seal_open_many(
+    mode: str,
+    key: bytes,
+    seal_packets: Sequence[Sequence],
+    open_packets: Sequence[Sequence],
+    tag_length: int = 16,
+    backend: BackendSpec = None,
+) -> Tuple[List[Tuple[bytes, bytes]], List[Optional[bytes]]]:
+    """Seal one list and open another under one key, one backend pass.
+
+    *mode* is ``"gcm"`` or ``"ccm"``.  This is the MCCP dispatch form:
+    a coalesced channel batch splits into its ENCRYPT and DECRYPT
+    halves and both halves' shards join a single
+    :meth:`repro.crypto.fast.exec.ExecutionBackend.run` call, so mixed
+    seal+open traffic overlaps across workers instead of serialising
+    direction by direction.  Results are positionally and
+    byte-identical to calling the two ``*_many`` APIs inline.
+    """
+    if mode not in _SEAL_MANY:
+        raise ValueError(f"unknown batch mode {mode!r}; valid: gcm, ccm")
+    backend = resolve_backend(backend)
+    if backend.workers > 1:
+        sharded = _run_sharded(
+            backend, mode, key, seal_packets, open_packets, tag_length
+        )
+        if sharded is not None:
+            return sharded
+    return (
+        _SEAL_MANY[mode](key, seal_packets, tag_length, backend=INLINE),
+        _OPEN_MANY[mode](key, open_packets, backend=INLINE),
+    )
 
 
 # -- lane-parallel CBC-MAC -------------------------------------------------
@@ -159,16 +276,24 @@ def _cbc_mac_lanes_scalar(
     return [state.to_bytes(BLOCK_BYTES, "big") for state in states]
 
 
+def _cbc_mac_shard(key_or_schedule, messages, iv):
+    """One span of a sharded CBC-MAC batch, run inline on a worker."""
+    return cbc_mac_many(key_or_schedule, messages, iv, backend=INLINE)
+
+
 def cbc_mac_many(
     key_or_schedule: KeyOrSchedule,
     messages: Sequence[bytes],
     iv: bytes = _ZERO_IV,
+    backend: BackendSpec = None,
 ) -> List[bytes]:
     """CBC-MAC every message of a same-key batch, lane-parallel.
 
     Byte-identical to mapping :func:`repro.crypto.fast.bulk
     .cbc_mac_fast` over *messages*; the batch form exists because the
-    per-message feedback chain is the serialising half of CCM.
+    per-message feedback chain is the serialising half of CCM.  A
+    *backend* shards the lanes across workers (each chain is
+    lane-local, so sharding cannot change any MAC).
     """
     if len(iv) != BLOCK_BYTES:
         raise BlockSizeError(f"CBC-MAC IV must be 16 bytes, got {len(iv)}")
@@ -181,6 +306,18 @@ def cbc_mac_many(
             raise BlockSizeError("CBC-MAC requires at least one block")
     if not messages:
         return []
+    backend = resolve_backend(backend)
+    if backend.workers > 1:
+        spans = backend.shard_spans(len(messages))
+        if len(spans) > 1:
+            lanes = [bytes(message) for message in messages]
+            shards = backend.run(
+                [
+                    (_cbc_mac_shard, (key_or_schedule, lanes[a:b], bytes(iv)))
+                    for a, b in spans
+                ]
+            )
+            return [mac for shard in shards for mac in shard]
     round_keys = _schedule(key_or_schedule)
     if HAVE_NUMPY and len(messages) >= MIN_LANES:
         return _cbc_mac_lanes_vector(round_keys, messages, iv)
@@ -279,13 +416,14 @@ def gcm_seal_many(
     key: bytes,
     packets: Sequence[Sequence],
     tag_length: int = 16,
+    backend: BackendSpec = None,
 ) -> List[Tuple[bytes, bytes]]:
     """Seal a same-key GCM batch; returns ``[(ciphertext, tag), ...]``.
 
     *packets* is a sequence of ``(iv, plaintext)`` or ``(iv, plaintext,
     aad)``; plaintext and aad may be scatter-gather segment lists.
     Byte-identical to calling :func:`repro.crypto.fast.bulk.gcm_seal`
-    per packet.
+    per packet, whatever *backend* shards the batch across.
     """
     from repro.crypto.modes.gcm import VALID_TAG_LENGTHS
 
@@ -295,6 +433,11 @@ def gcm_seal_many(
         )
     if not packets:
         return []
+    backend = resolve_backend(backend)
+    if backend.workers > 1:
+        sharded = _run_sharded(backend, "gcm", key, packets, (), tag_length)
+        if sharded is not None:
+            return sharded[0]
     if not HAVE_NUMPY:
         return [
             gcm_seal(key, bytes(p[0]), gather(p[1]), gather(p[2]) if len(p) > 2 else b"", tag_length)
@@ -320,6 +463,7 @@ def gcm_seal_many(
 def gcm_open_many(
     key: bytes,
     packets: Sequence[Sequence],
+    backend: BackendSpec = None,
 ) -> List[Optional[bytes]]:
     """Open a same-key GCM batch; ``None`` marks an authentication failure.
 
@@ -343,6 +487,11 @@ def gcm_open_many(
     for packet in packets:
         if len(bytes(packet[2])) not in VALID_TAG_LENGTHS:
             raise TagError(f"GCM tag length {len(bytes(packet[2]))} is invalid")
+    backend = resolve_backend(backend)
+    if backend.workers > 1:
+        sharded = _run_sharded(backend, "gcm", key, (), packets, 16)
+        if sharded is not None:
+            return sharded[1]
     if not HAVE_NUMPY:
         # bulk.gcm_open already verifies before generating the payload
         # keystream, so the scalar fallback early-rejects per packet.
@@ -377,11 +526,17 @@ def gcm_open_many(
 
 
 def gmac_many(
-    key: bytes, packets: Sequence[Sequence], tag_length: int = 16
+    key: bytes,
+    packets: Sequence[Sequence],
+    tag_length: int = 16,
+    backend: BackendSpec = None,
 ) -> List[bytes]:
     """GMAC tags for a batch of ``(iv, aad)`` packets (empty plaintext)."""
     sealed = gcm_seal_many(
-        key, [(packet[0], b"", packet[1]) for packet in packets], tag_length
+        key,
+        [(packet[0], b"", packet[1]) for packet in packets],
+        tag_length,
+        backend=backend,
     )
     return [tag for _, tag in sealed]
 
@@ -411,13 +566,15 @@ def ccm_seal_many(
     key: bytes,
     packets: Sequence[Sequence],
     tag_length: int = 16,
+    backend: BackendSpec = None,
 ) -> List[Tuple[bytes, bytes]]:
     """Seal a same-key CCM batch; returns ``[(ciphertext, tag), ...]``.
 
     *packets* is a sequence of ``(nonce, plaintext)`` or ``(nonce,
     plaintext, aad)`` (scatter-gather allowed).  The CBC-MAC half runs
     lane-parallel across the batch; byte-identical to per-packet
-    :func:`repro.crypto.fast.bulk.ccm_seal`.
+    :func:`repro.crypto.fast.bulk.ccm_seal`, whatever *backend* shards
+    the batch across.
     """
     from repro.crypto.modes.ccm import (
         _check_params,
@@ -427,6 +584,11 @@ def ccm_seal_many(
 
     if not packets:
         return []
+    backend = resolve_backend(backend)
+    if backend.workers > 1:
+        sharded = _run_sharded(backend, "ccm", key, packets, (), tag_length)
+        if sharded is not None:
+            return sharded[0]
     if not HAVE_NUMPY:
         return [
             ccm_seal(key, bytes(p[0]), gather(p[1]), gather(p[2]) if len(p) > 2 else b"", tag_length)
@@ -444,7 +606,7 @@ def ccm_seal_many(
             + pad_zeros(data, BLOCK_BYTES)
         )
     round_keys, s0s, streams = _ccm_prepare(key, nonces, datas)
-    macs = cbc_mac_many(round_keys, blobs)
+    macs = cbc_mac_many(round_keys, blobs, backend=INLINE)
     results = []
     for data, mac, s0, stream in zip(datas, macs, s0s, streams):
         ciphertext = xor_data(data, stream) if data else b""
@@ -455,6 +617,7 @@ def ccm_seal_many(
 def ccm_open_many(
     key: bytes,
     packets: Sequence[Sequence],
+    backend: BackendSpec = None,
 ) -> List[Optional[bytes]]:
     """Open a same-key CCM batch; ``None`` marks an authentication failure.
 
@@ -477,6 +640,11 @@ def ccm_open_many(
 
     if not packets:
         return []
+    backend = resolve_backend(backend)
+    if backend.workers > 1:
+        sharded = _run_sharded(backend, "ccm", key, (), packets, 16)
+        if sharded is not None:
+            return sharded[1]
     if not HAVE_NUMPY:
         return [
             _open_one(
@@ -506,7 +674,7 @@ def ccm_open_many(
         + pad_zeros(plaintext, BLOCK_BYTES)
         for nonce, aad, plaintext, tag in zip(nonces, aads, plaintexts, tags)
     ]
-    macs = cbc_mac_many(round_keys, blobs)
+    macs = cbc_mac_many(round_keys, blobs, backend=INLINE)
     results: List[Optional[bytes]] = []
     for mac, s0, tag, plaintext in zip(macs, s0s, tags, plaintexts):
         expected = xor_data(mac, s0)[: len(tag)]
@@ -525,3 +693,9 @@ def _open_one(open_fn, key, nonce, ciphertext, tag, aad) -> Optional[bytes]:
         return open_fn(key, nonce, ciphertext, tag, aad)
     except AuthenticationFailure:
         return None
+
+
+#: Mode tag -> batch entry point (the shard workers' dispatch tables;
+#: module level so the references pickle into process-pool workers).
+_SEAL_MANY = {"gcm": gcm_seal_many, "ccm": ccm_seal_many}
+_OPEN_MANY = {"gcm": gcm_open_many, "ccm": ccm_open_many}

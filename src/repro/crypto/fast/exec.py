@@ -1,0 +1,384 @@
+"""Pluggable execution backends for the batch crypto sweeps.
+
+The batch engine (:mod:`repro.crypto.fast.batch`) turns N same-key
+packets into a handful of fused numpy sweeps, but until this module
+every sweep ran on one Python thread — the software restatement of the
+paper's many-core parallelism stopped at one core.  An
+:class:`ExecutionBackend` is the seam that fixes that: callers hand it
+an ordered list of independent ``(fn, args)`` calls (typically one per
+packet shard, or one per seal/open direction of a coalesced dispatch)
+and get the results back **in submission order**, whatever ran where.
+Three implementations:
+
+- :class:`InlineBackend` — run the calls sequentially in the calling
+  thread.  Today's behaviour, and the default (``REPRO_BACKEND=inline``).
+- :class:`ThreadPoolBackend` — a bounded ``ThreadPoolExecutor``.  The
+  numpy gather/XOR sweeps under the batch engine release the GIL, so
+  shards genuinely overlap on multi-core hosts; shared state (the LRU
+  key-schedule/Shoup/H-power caches, channel statistics) stays visible,
+  which is why this backend is also allowed to overlap whole
+  per-channel dispatches (:meth:`ExecutionBackend.supports_shared_state`).
+- :class:`ProcessPoolBackend` — shared-nothing worker processes.  Each
+  worker starts with cold memo caches (the pool initializer and the
+  ``os.register_at_fork`` hook in :mod:`repro.crypto.fast` both call
+  ``clear_caches``) and rebuilds them lazily, so a fork can never
+  observe a cache mid-mutation.  Arguments must pickle; the batch
+  layer normalises scatter-gather packets to plain bytes before
+  sharding.  Where child processes are impossible (daemonic workers of
+  an outer multiprocessing pool, sandboxed runners) the backend
+  degrades to inline execution and records why in
+  :attr:`ProcessPoolBackend.degraded_reason` rather than failing the
+  dispatch.
+
+Determinism contract: a backend only ever changes *where* calls run,
+never what they compute or the order results come back in — the
+equivalence suite pins inline == thread == process byte-for-byte
+across the crypto, MCCP and radio layers.
+
+Selection: ``REPRO_BACKEND`` in the environment (``inline``,
+``thread``/``thread:N``, ``process``/``process:N`` with ``N`` worker
+cap) seeds the process-wide default; every ``backend=`` parameter up
+the stack (``*_many`` APIs, ``Mccp.dispatch_jobs``,
+``SdrPlatform.run_workload``) accepts a backend instance, a spec
+string, or ``None`` for the default.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+from abc import ABC, abstractmethod
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+#: One unit of backend work: a callable plus positional arguments.
+Call = Tuple[Callable, tuple]
+
+#: A backend parameter anywhere up the stack: an instance, a spec
+#: string ("thread:4"), or None for the process-wide default.
+BackendSpec = Union["ExecutionBackend", str, None]
+
+#: Smallest shard worth shipping to a worker: below this the dispatch
+#: overhead (task hand-off, and pickling for processes) beats the win.
+DEFAULT_MIN_SHARD = 4
+
+
+def _process_worker_init() -> None:
+    """Pool initializer: start every worker with cold memo caches.
+
+    Top-level (not a closure) so it pickles by reference under both
+    fork and spawn start methods.  Forked workers additionally run the
+    ``os.register_at_fork`` hook; spawn workers start cold anyway —
+    either way no worker can inherit a parent LRU mid-mutation.
+    """
+    from repro.crypto.fast import clear_caches
+
+    clear_caches()
+
+
+class ExecutionBackend(ABC):
+    """Where the batch engine's independent sweeps execute."""
+
+    #: Stable identifier recorded in bench metadata and artifacts.
+    name: str = "abstract"
+
+    #: True when workers share the caller's address space (inline,
+    #: threads): callers may then hand the backend closures over live
+    #: objects (e.g. whole per-channel flushes).  Process backends get
+    #: only picklable top-level calls.
+    supports_shared_state: bool = True
+
+    @property
+    @abstractmethod
+    def workers(self) -> int:
+        """Upper bound on concurrently executing calls (>= 1)."""
+
+    @abstractmethod
+    def run(self, calls: Sequence[Call]) -> List[object]:
+        """Execute every call; results in submission order.
+
+        Exceptions raised by a call propagate to the caller (after all
+        submitted work has been collected or abandoned by the pool) —
+        a backend never swallows a crypto error.
+        """
+
+    def shard_spans(
+        self, count: int, min_shard: int = DEFAULT_MIN_SHARD
+    ) -> List[Tuple[int, int]]:
+        """Split ``range(count)`` into contiguous per-worker spans.
+
+        At most :attr:`workers` spans, each at least *min_shard* items
+        (so tiny batches never shard), sizes differing by at most one
+        so the merge is deterministic: concatenating span results in
+        order reproduces the unsharded result order exactly.
+        """
+        if count <= 0:
+            return []
+        shards = min(max(1, self.workers), max(1, count // max(1, min_shard)))
+        if shards <= 1:
+            return [(0, count)]
+        base, extra = divmod(count, shards)
+        spans, start = [], 0
+        for index in range(shards):
+            stop = start + base + (1 if index < extra else 0)
+            spans.append((start, stop))
+            start = stop
+        return spans
+
+    def close(self) -> None:
+        """Release pooled workers (idempotent; inline is a no-op)."""
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} workers={self.workers}>"
+
+
+class InlineBackend(ExecutionBackend):
+    """Run every call sequentially in the calling thread (default)."""
+
+    name = "inline"
+    supports_shared_state = True
+
+    @property
+    def workers(self) -> int:
+        return 1
+
+    def run(self, calls: Sequence[Call]) -> List[object]:
+        return [fn(*args) for fn, args in calls]
+
+
+class ThreadPoolBackend(ExecutionBackend):
+    """Bounded thread pool; numpy sweeps release the GIL and overlap."""
+
+    name = "thread"
+    supports_shared_state = True
+
+    def __init__(self, workers: Optional[int] = None):
+        if workers is not None and workers < 1:
+            raise ValueError(f"thread backend needs >= 1 worker, got {workers}")
+        self._requested = workers
+        self._pool = None
+
+    @property
+    def workers(self) -> int:
+        return self._requested or (os.cpu_count() or 1)
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            from concurrent.futures import ThreadPoolExecutor
+
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="repro-exec"
+            )
+        return self._pool
+
+    def run(self, calls: Sequence[Call]) -> List[object]:
+        calls = list(calls)
+        if len(calls) <= 1 or self.workers <= 1:
+            return [fn(*args) for fn, args in calls]
+        pool = self._ensure_pool()
+        futures = [pool.submit(fn, *args) for fn, args in calls]
+        return [future.result() for future in futures]
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+class ProcessPoolBackend(ExecutionBackend):
+    """Shared-nothing worker processes with fork-safe cold caches.
+
+    Calls must be top-level functions with picklable arguments.  When
+    the host cannot fork children (daemonic multiprocessing workers,
+    restricted sandboxes) the backend degrades to inline execution —
+    results stay byte-identical, only the overlap is lost — and
+    :attr:`degraded_reason` records why for bench metadata.
+    """
+
+    name = "process"
+    supports_shared_state = False
+
+    def __init__(self, workers: Optional[int] = None):
+        if workers is not None and workers < 1:
+            raise ValueError(f"process backend needs >= 1 worker, got {workers}")
+        self._requested = workers
+        self._pool = None
+        #: Why the backend fell back to inline execution (None = it
+        #: has not; pools are created lazily on the first wide run).
+        self.degraded_reason: Optional[str] = None
+
+    @property
+    def workers(self) -> int:
+        if self.degraded_reason is not None:
+            return 1
+        return self._requested or (os.cpu_count() or 1)
+
+    def _ensure_pool(self):
+        if self._pool is not None or self.degraded_reason is not None:
+            return self._pool
+        import multiprocessing
+
+        if multiprocessing.current_process().daemon:
+            # Children of daemonic pool workers are forbidden; e.g. a
+            # bench kernel running inside the sweep runner's pool.
+            self.degraded_reason = "daemonic process cannot spawn workers"
+            return None
+        try:
+            from concurrent.futures import ProcessPoolExecutor
+
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers, initializer=_process_worker_init
+            )
+        except (OSError, ValueError, RuntimeError) as exc:
+            self.degraded_reason = f"process pool unavailable: {exc}"
+        return self._pool
+
+    def run(self, calls: Sequence[Call]) -> List[object]:
+        calls = list(calls)
+        if len(calls) <= 1 or self.workers <= 1:
+            return [fn(*args) for fn, args in calls]
+        pool = self._ensure_pool()
+        if pool is None:
+            return [fn(*args) for fn, args in calls]
+        from concurrent.futures.process import BrokenProcessPool
+
+        try:
+            futures = [pool.submit(fn, *args) for fn, args in calls]
+            return [future.result() for future in futures]
+        except BrokenProcessPool as exc:
+            # Pool-level failure (a worker died, not a call raising):
+            # degrade for the rest of the process and redo inline.
+            self.degraded_reason = f"process pool broke: {exc}"
+            self.close()
+            return [fn(*args) for fn, args in calls]
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+#: Shared inline singleton: shard workers execute through this so a
+#: worker can never recursively re-enter its own pool.
+INLINE = InlineBackend()
+
+
+def make_backend(spec: Union[ExecutionBackend, str]) -> ExecutionBackend:
+    """Build a backend from a spec: instance, or ``name[:workers]``.
+
+    Accepted names: ``inline``, ``thread``, ``process`` (a ``:N``
+    suffix caps the worker count, e.g. ``thread:4``).
+    """
+    if isinstance(spec, ExecutionBackend):
+        return spec
+    text = str(spec).strip().lower()
+    name, _, workers_text = text.partition(":")
+    try:
+        workers = int(workers_text) if workers_text else None
+    except ValueError:
+        raise ValueError(
+            f"bad worker count in backend spec {spec!r}; use e.g. 'thread:4'"
+        ) from None
+    if name in ("", "inline"):
+        if workers not in (None, 1):
+            raise ValueError("the inline backend has exactly one worker")
+        return InlineBackend()
+    if name in ("thread", "threads", "threadpool"):
+        return ThreadPoolBackend(workers)
+    if name in ("process", "processes", "processpool"):
+        return ProcessPoolBackend(workers)
+    raise ValueError(
+        f"unknown execution backend {spec!r}; valid: inline, "
+        "thread[:N], process[:N] (REPRO_BACKEND uses the same syntax)"
+    )
+
+
+#: Lazily-built process-wide default (None = re-read REPRO_BACKEND).
+_DEFAULT_BACKEND: Optional[ExecutionBackend] = None
+
+
+def default_backend() -> ExecutionBackend:
+    """The process-wide backend, seeded from ``REPRO_BACKEND``."""
+    global _DEFAULT_BACKEND
+    if _DEFAULT_BACKEND is None:
+        _DEFAULT_BACKEND = make_backend(os.environ.get("REPRO_BACKEND", "inline"))
+    return _DEFAULT_BACKEND
+
+
+def set_default_backend(spec: BackendSpec) -> Optional[ExecutionBackend]:
+    """Install the process-wide default; returns the previous one.
+
+    ``None`` uninstalls it, so the next :func:`default_backend` call
+    re-reads ``REPRO_BACKEND`` (test isolation hook).  The previous
+    backend is returned un-closed — callers own its lifetime.
+    """
+    global _DEFAULT_BACKEND
+    previous = _DEFAULT_BACKEND
+    _DEFAULT_BACKEND = None if spec is None else make_backend(spec)
+    return previous
+
+
+#: Memoized spec-string resolutions.  Layers may *store* a spec string
+#: (e.g. ``CommController.backend = "thread:2"``) and resolve it on
+#: every dispatch; constructing a fresh pool-backed instance each time
+#: would leak one executor per dispatch, so equal specs share one
+#: instance for the life of the process.
+_SHARED_BACKENDS: dict = {}
+
+
+def resolve_backend(backend: BackendSpec = None) -> ExecutionBackend:
+    """Resolve a ``backend=`` parameter: instance, spec string or None.
+
+    Instances pass through untouched (the caller owns their lifetime);
+    spec strings resolve to process-shared instances so repeated
+    resolution of a stored spec reuses one warm pool instead of
+    leaking a new executor per dispatch.
+    """
+    if backend is None:
+        return default_backend()
+    if isinstance(backend, str):
+        key = backend.strip().lower()
+        shared = _SHARED_BACKENDS.get(key)
+        if shared is None:
+            shared = _SHARED_BACKENDS[key] = make_backend(key)
+        return shared
+    return make_backend(backend)
+
+
+@atexit.register
+def _close_shared_backends() -> None:
+    """Shut the module-lifetime pools down before interpreter teardown.
+
+    ProcessPoolExecutor's own atexit hook races module teardown when a
+    pool is simply abandoned (spurious ``Exception ignored ...``
+    tracebacks on stderr under ``REPRO_BACKEND=process``); closing the
+    default and spec-shared backends explicitly drains them while the
+    runtime is still whole.
+    """
+    global _DEFAULT_BACKEND
+    for backend in (_DEFAULT_BACKEND, *_SHARED_BACKENDS.values()):
+        if backend is not None:
+            backend.close()
+    _DEFAULT_BACKEND = None
+    _SHARED_BACKENDS.clear()
+
+
+__all__ = [
+    "Call",
+    "BackendSpec",
+    "DEFAULT_MIN_SHARD",
+    "ExecutionBackend",
+    "InlineBackend",
+    "ThreadPoolBackend",
+    "ProcessPoolBackend",
+    "INLINE",
+    "make_backend",
+    "default_backend",
+    "set_default_backend",
+    "resolve_backend",
+]

@@ -20,12 +20,14 @@ derive the speedup table.
 from __future__ import annotations
 
 import random
+import re
 import time
 from typing import Callable, Dict, Tuple
 
 from repro.crypto import AES, ccm_encrypt, gcm_encrypt
 from repro.crypto.fast.batch import ccm_seal_many, gcm_seal_many
 from repro.crypto.fast.bulk import ccm_seal, ctr_xcrypt_bulk, gcm_seal
+from repro.crypto.fast.exec import resolve_backend
 from repro.crypto.fast.gf128_tables import gf128_mul_tabulated, ghash_tables
 from repro.crypto.gf128 import gf128_mul
 from repro.crypto.ghash import GHash
@@ -64,12 +66,26 @@ CCM_BATCH = tuple(((i + 1).to_bytes(13, "big"), PACKET) for i in range(BATCH_PAC
 _KERNEL_EVENTS = 2000
 
 
-def _radio_ccm_setup(width: int, npackets: int):
+def bench_backend(spec: str):
+    """Shared backend instance for *spec* ("thread" / "process").
+
+    The process-wide spec memo in :func:`repro.crypto.fast.exec
+    .resolve_backend`: every iteration of one kernel reuses the same
+    warm pool, and the bench shares it with any dispatch that stored
+    the same spec string.  Process pools degrade to inline inside
+    daemonic sweep workers (the kernels stay byte-correct; their ops/s
+    then simply matches inline, which the warn-only gate tolerates).
+    """
+    return resolve_backend(spec)
+
+
+def _radio_ccm_setup(width: int, npackets: int, backend: str = None):
     """One CCM radio-dataplane rig: (sim, comm, channel, packets).
 
     Shared by the bench kernels and their correctness twin so the perf
     number and the gate always measure the same pipeline
-    (coalesce width *width*, 8-byte tags, 2 KB packets).
+    (coalesce width *width*, 8-byte tags, 2 KB packets, dispatches on
+    *backend* when given).
     """
     from repro.core.params import Algorithm
     from repro.mccp.channel import FlushPolicy
@@ -82,7 +98,9 @@ def _radio_ccm_setup(width: int, npackets: int):
     mccp.load_session_key(0, KEY)
     channel = mccp.open_channel(Algorithm.CCM, 0, tag_length=8)
     channel.flush_policy = FlushPolicy(coalesce_limit=width, flush_deadline=None)
-    comm = CommController(sim, mccp)
+    comm = CommController(
+        sim, mccp, backend=bench_backend(backend) if backend else None
+    )
     packets = [
         Packet(channel.channel_id, b"", PACKET, sequence=i)
         for i in range(npackets)
@@ -104,7 +122,7 @@ def _radio_ccm_round(sim, comm, channel, packets) -> None:
     sim.run_until_event(finished)
 
 
-def _radio_ccm_dataplane(width: int, npackets: int):
+def _radio_ccm_dataplane(width: int, npackets: int, backend: str = None):
     """Zero-arg kernel: *npackets* 2 KB CCM packets through the batched
     radio dataplane at coalesce width *width*.
 
@@ -113,9 +131,10 @@ def _radio_ccm_dataplane(width: int, npackets: int):
     engine, per-packet completion stamping, simulated control/transfer
     time), so ops/s x npackets is end-to-end radio packets/s — the
     number the ``radio_ccm_2kb_batch32_per_packet`` speedup compares
-    against the width-1 (sequential) path.
+    against the width-1 (sequential) path.  *backend* routes the
+    dispatches through a worker pool (the ``_thread`` kernel variant).
     """
-    sim, comm, channel, packets = _radio_ccm_setup(width, npackets)
+    sim, comm, channel, packets = _radio_ccm_setup(width, npackets, backend)
 
     def run() -> int:
         _radio_ccm_round(sim, comm, channel, packets)
@@ -173,10 +192,27 @@ def build_kernels() -> Dict[str, Callable[[], object]]:
         # derives the `<base>_batch<N>_per_packet` speedups from this).
         "gcm_2kb_batch32_fast": lambda: gcm_seal_many(KEY, GCM_BATCH, 16),
         "ccm_2kb_batch32_fast": lambda: ccm_seal_many(KEY, CCM_BATCH, 8),
+        # Backend-parametrized twins of the batch kernels: same packets
+        # sharded across a worker pool (run_bench derives the
+        # `<base>_batch<N>_<backend>_over_inline` speedups; the CI gate
+        # requires thread >= 1.3x inline on the 2-vCPU runner).
+        "gcm_2kb_batch32_thread_fast": lambda: gcm_seal_many(
+            KEY, GCM_BATCH, 16, backend=bench_backend("thread")
+        ),
+        "ccm_2kb_batch32_thread_fast": lambda: ccm_seal_many(
+            KEY, CCM_BATCH, 8, backend=bench_backend("thread")
+        ),
+        "ccm_2kb_batch32_process_fast": lambda: ccm_seal_many(
+            KEY, CCM_BATCH, 8, backend=bench_backend("process")
+        ),
         # End-to-end radio dataplane: one op = enqueue + flush through
-        # the MCCP channel layer (sequential width-1 vs coalesced 32).
+        # the MCCP channel layer (sequential width-1 vs coalesced 32,
+        # plus the coalesced dispatch on the thread backend).
         "radio_ccm_2kb_fast": _radio_ccm_dataplane(1, 1),
         "radio_ccm_2kb_batch32_fast": _radio_ccm_dataplane(32, BATCH_PACKETS),
+        "radio_ccm_2kb_batch32_thread_fast": _radio_ccm_dataplane(
+            32, BATCH_PACKETS, backend="thread"
+        ),
         "sim_kernel_8k_events": _kernel_events,
     }
 
@@ -200,8 +236,12 @@ KERNEL_NAMES = (
     "ccm_2kb_fast",
     "gcm_2kb_batch32_fast",
     "ccm_2kb_batch32_fast",
+    "gcm_2kb_batch32_thread_fast",
+    "ccm_2kb_batch32_thread_fast",
+    "ccm_2kb_batch32_process_fast",
     "radio_ccm_2kb_fast",
     "radio_ccm_2kb_batch32_fast",
+    "radio_ccm_2kb_batch32_thread_fast",
     "sim_kernel_8k_events",
 )
 
@@ -250,11 +290,29 @@ def correctness_check(name: str) -> bool:
         sequential = [ccm_seal(KEY, nonce, data, b"", 8) for nonce, data in CCM_BATCH]
         reference = ccm_encrypt(KEY, CCM_BATCH[0][0], PACKET, b"", 8, False)
         return batch == sequential and batch[0] == reference
-    if name in ("radio_ccm_2kb_fast", "radio_ccm_2kb_batch32_fast"):
+    backend_kernel = re.fullmatch(
+        r"(gcm|ccm)_2kb_batch32_(thread|process)_fast", name
+    )
+    if backend_kernel:
+        # The sharded batch must merge byte-identical to the inline run.
+        backend = bench_backend(backend_kernel[2])
+        if backend_kernel[1] == "gcm":
+            inline = gcm_seal_many(KEY, GCM_BATCH, 16)
+            return gcm_seal_many(KEY, GCM_BATCH, 16, backend=backend) == inline
+        inline = ccm_seal_many(KEY, CCM_BATCH, 8)
+        return ccm_seal_many(KEY, CCM_BATCH, 8, backend=backend) == inline
+    if name in (
+        "radio_ccm_2kb_fast",
+        "radio_ccm_2kb_batch32_fast",
+        "radio_ccm_2kb_batch32_thread_fast",
+    ):
         # The full dataplane (jobs, flush policy, batch engine) must
         # reproduce the sequential one-call fast path byte-for-byte.
-        width = 32 if name.endswith("batch32_fast") else 1
-        sim, comm, channel, packets = _radio_ccm_setup(width, BATCH_PACKETS)
+        width = 1 if name == "radio_ccm_2kb_fast" else 32
+        backend = "thread" if name.endswith("_thread_fast") else None
+        sim, comm, channel, packets = _radio_ccm_setup(
+            width, BATCH_PACKETS, backend
+        )
         _radio_ccm_round(sim, comm, channel, packets)
         transfers = list(comm.completed.values())
         return len(transfers) == BATCH_PACKETS and all(

@@ -20,11 +20,13 @@ from __future__ import annotations
 
 import datetime
 import multiprocessing
+import os
 import platform
 from typing import Dict, List, Sequence, Tuple
 
 from repro.crypto.fast import clear_caches, fast_enabled
 from repro.crypto.fast.aes_vector import HAVE_NUMPY
+from repro.crypto.fast.exec import default_backend
 from repro.errors import ExperimentError
 from repro.experiments.scenario import Metrics, Scenario, case_seed, get, resolve
 
@@ -127,6 +129,10 @@ def run_sweep(
         "machine": platform.machine(),
         "fast_enabled": fast_enabled(),
         "have_numpy": HAVE_NUMPY,
+        # Execution-backend context (cross-machine honesty for the
+        # backend-parametrized kernels and the backend_sweep scenario).
+        "backend": default_backend().name,
+        "cpu_count": os.cpu_count(),
         "quick": quick,
         "base_seed": base_seed,
         "parallel": parallel,

@@ -10,6 +10,7 @@ reads are only served to the Key Scheduler.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict
 
 from repro.errors import KeyStoreError
@@ -26,6 +27,11 @@ class KeyMemory:
         self._sealed = False
         #: Read counter per key id (audit trail).
         self.read_counts: Dict[int, int] = {}
+        # The audit trail must stay exact when concurrent per-channel
+        # drains (Mccp.flush_batches on a thread backend) fetch keys —
+        # channels may share a key id, and an unlocked read-modify-
+        # write would lose counts.
+        self._read_lock = threading.Lock()
 
     # -- main-controller (red side) interface --------------------------------
 
@@ -55,7 +61,8 @@ class KeyMemory:
             key = self._keys[key_id]
         except KeyError as exc:
             raise KeyStoreError(f"no session key with id {key_id}") from exc
-        self.read_counts[key_id] = self.read_counts.get(key_id, 0) + 1
+        with self._read_lock:
+            self.read_counts[key_id] = self.read_counts.get(key_id, 0) + 1
         return key
 
     def key_bits(self, key_id: int) -> int:

@@ -35,6 +35,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.crypto_core import CryptoCore
 from repro.core.params import Algorithm, Direction
+from repro.crypto.fast.exec import INLINE, BackendSpec, resolve_backend
 from repro.crypto.modes.ccm import _check_params as _ccm_check_params
 from repro.crypto.modes.gcm import VALID_TAG_LENGTHS as _GCM_VALID_TAG_LENGTHS
 from repro.errors import ChannelError, NoResourceError, ProtocolError
@@ -91,11 +92,17 @@ class Mccp:
         policy=None,
         trace: Optional[TraceRecorder] = None,
         key_memory: Optional[KeyMemory] = None,
+        backend: BackendSpec = None,
     ):
         if core_count < 1:
             raise ProtocolError("MCCP needs at least one core")
         self.sim = sim
         self.timing = timing
+        #: Where batched dispatches execute (:mod:`repro.crypto.fast
+        #: .exec`): an :class:`ExecutionBackend`, a spec string, or
+        #: None for the process default (``REPRO_BACKEND``).  Per-call
+        #: ``backend=`` arguments override it.
+        self.backend = backend
         self.trace = trace if trace is not None else TraceRecorder(enabled=False)
 
         self.cores: List[CryptoCore] = [
@@ -281,7 +288,10 @@ class Mccp:
         return channel.enqueue(job)
 
     def dispatch_jobs(
-        self, channel_id: int, jobs: Sequence[PacketJob]
+        self,
+        channel_id: int,
+        jobs: Sequence[PacketJob],
+        backend: BackendSpec = None,
     ) -> List[BatchResult]:
         """Run one already-dequeued batch of *jobs* through the engine.
 
@@ -290,15 +300,22 @@ class Mccp:
         this to produce the bytes.  Each job's :attr:`PacketJob.result`
         is stamped; channel statistics (``packets_processed``,
         ``bytes_processed``, ``auth_failures``, ``stats['batches']``)
-        update as the paper's per-channel counters would.
+        update as the paper's per-channel counters would.  *backend*
+        (default: the device's :attr:`backend`) decides where the
+        seal/open sweeps execute; results are byte-identical and
+        identically ordered whichever backend runs them.
         """
         channel = self.scheduler.get_channel(channel_id)
         key = self.key_memory.fetch_for_scheduler(channel.key_id)
-        results = self._dispatch_batch(channel, key, jobs)
+        results = self._dispatch_batch(
+            channel, key, jobs, backend if backend is not None else self.backend
+        )
         channel.stats["batches"] = channel.stats.get("batches", 0) + 1
         return results
 
-    def flush_channel(self, channel_id: int) -> List[BatchResult]:
+    def flush_channel(
+        self, channel_id: int, backend: BackendSpec = None
+    ) -> List[BatchResult]:
         """Drain one channel's queue through the batch engine.
 
         Packets dispatch in submission order, :attr:`Channel
@@ -311,44 +328,77 @@ class Mccp:
         channel = self.scheduler.get_channel(channel_id)
         results: List[BatchResult] = []
         while channel.pending:
-            results.extend(self.dispatch_jobs(channel_id, channel.take_batch()))
+            results.extend(
+                self.dispatch_jobs(channel_id, channel.take_batch(), backend)
+            )
         return results
 
-    def flush_batches(self) -> Dict[int, List[BatchResult]]:
-        """Flush every channel with queued packets; id -> results."""
-        return {
-            channel_id: self.flush_channel(channel_id)
+    def flush_batches(
+        self, backend: BackendSpec = None
+    ) -> Dict[int, List[BatchResult]]:
+        """Flush every channel with queued packets; id -> results.
+
+        Per-channel flushes are mutually independent (disjoint queues,
+        stats and keys), so a shared-state backend with more than one
+        worker drains the channels concurrently — each channel's own
+        dispatches stay inline on its worker, which keeps the per-pool
+        work non-reentrant.  Process backends (and inline) drain
+        channels sequentially and parallelise inside each dispatch
+        instead.  Either way the mapping and every result list are
+        identical to the sequential drain.
+        """
+        resolved = resolve_backend(backend if backend is not None else self.backend)
+        pending_ids = [
+            channel_id
             for channel_id, channel in sorted(self.scheduler.channels.items())
             if channel.pending
+        ]
+        if (
+            resolved.supports_shared_state
+            and resolved.workers > 1
+            and len(pending_ids) > 1
+        ):
+            results = resolved.run(
+                [(self.flush_channel, (cid, INLINE)) for cid in pending_ids]
+            )
+            return dict(zip(pending_ids, results))
+        return {
+            channel_id: self.flush_channel(channel_id, resolved)
+            for channel_id in pending_ids
         }
 
     def _dispatch_batch(
-        self, channel: Channel, key: bytes, batch: Sequence[PacketJob]
+        self,
+        channel: Channel,
+        key: bytes,
+        batch: Sequence[PacketJob],
+        backend: BackendSpec = None,
     ) -> List[BatchResult]:
-        """Run one coalesced batch; seals and opens each share a sweep."""
+        """Run one coalesced batch; seals and opens each share a sweep.
+
+        The two direction lists go through :func:`repro.crypto.fast
+        .batch.seal_open_many` as one backend pass, so a mixed batch's
+        encrypt and decrypt sweeps overlap across workers.
+        """
         from repro.crypto.fast import batch as fast_batch
 
-        if channel.algorithm is Algorithm.GCM:
-            seal_many, open_many = fast_batch.gcm_seal_many, fast_batch.gcm_open_many
-        else:
-            seal_many, open_many = fast_batch.ccm_seal_many, fast_batch.ccm_open_many
+        mode = "gcm" if channel.algorithm is Algorithm.GCM else "ccm"
         seal_indices = [
             i for i, p in enumerate(batch) if p.direction is Direction.ENCRYPT
         ]
         open_indices = [
             i for i, p in enumerate(batch) if p.direction is Direction.DECRYPT
         ]
-        sealed = seal_many(
+        sealed, opened = fast_batch.seal_open_many(
+            mode,
             key,
             [(batch[i].nonce, batch[i].data, batch[i].aad) for i in seal_indices],
-            channel.tag_length,
-        )
-        opened = open_many(
-            key,
             [
                 (batch[i].nonce, batch[i].data, batch[i].tag, batch[i].aad)
                 for i in open_indices
             ],
+            channel.tag_length,
+            backend=backend,
         )
         results: List[Optional[BatchResult]] = [None] * len(batch)
         for i, (ciphertext, tag) in zip(seal_indices, sealed):

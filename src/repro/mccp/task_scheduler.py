@@ -167,8 +167,24 @@ class TaskScheduler:
     # -- core selection -----------------------------------------------------
 
     def idle_core_indices(self) -> List[int]:
-        """Cores currently free (ordered by index)."""
-        return [c.index for c in self.cores if not c.busy]
+        """Cores currently free (ordered by index).
+
+        A core whose output FIFO still holds words is *not* free even
+        though its firmware has halted: the hardware keeps a core
+        allocated until TRANSFER DONE (section IV.C), and remapping it
+        earlier would start the next task's drainer against a FIFO the
+        previous task's drainer is still popping — the two download
+        processes would interleave and scatter both packets' words.
+        The encrypt path rarely hits the window (its output is drained
+        while the core runs), but DECRYPT output legitimately sits in
+        the FIFO from RESULT until the post-RETRIEVE download, which
+        receive-side workloads exposed.
+        """
+        return [
+            c.index
+            for c in self.cores
+            if not c.busy and not c.out_fifo.can_pop()
+        ]
 
     # -- request submission ----------------------------------------------------
 

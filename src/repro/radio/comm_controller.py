@@ -76,10 +76,16 @@ class CompletedTransfer:
 class CommController:
     """Drives the MCCP on behalf of the radio."""
 
-    def __init__(self, sim: Simulator, mccp: Mccp, seed: int = 0):
+    def __init__(
+        self, sim: Simulator, mccp: Mccp, seed: int = 0, backend=None
+    ):
         self.sim = sim
         self.mccp = mccp
         self._seed = seed
+        #: Execution backend for batched dispatches (:mod:`repro.crypto
+        #: .fast.exec` spec/instance; None defers to the MCCP's own
+        #: default and ultimately ``REPRO_BACKEND``).
+        self.backend = backend
         self._nonce_counter = seed << 32
         #: Finished transfers: core-path requests key by request id,
         #: batch-path jobs by a negative job counter (-1, -2, ...).
@@ -257,7 +263,9 @@ class CommController:
                     yield self.mccp.scheduler.overhead_delay()
                     words = sum(job_transfer_words(job) for job in batch)
                     yield Delay(words * self.mccp.timing.crossbar_word_cycles)
-                    results = self.mccp.dispatch_jobs(cid, batch)
+                    results = self.mccp.dispatch_jobs(
+                        cid, batch, backend=self.backend
+                    )
                     stats = channel.stats
                     stats[f"flush_{cause}"] = stats.get(f"flush_{cause}", 0) + 1
                     for job, result in zip(batch, results):

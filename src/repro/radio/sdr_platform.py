@@ -22,15 +22,36 @@ on the same :class:`repro.mccp.channel.PacketJob` pipeline:
 Both dataplanes secure every packet under the same deterministic
 per-(channel, sequence) nonce, so they produce byte-identical secured
 packets — the equivalence the dataplane test suite pins.
+
+Receive-side traffic: a channel (or the whole run) may declare an
+``rx_fraction`` — that share of its packets arrive as *secured*
+packets off the air and flow through the dataplane as DECRYPT jobs.
+The platform plays the peer radio: it pre-seals the payload under the
+channel key and the deterministic per-(channel, sequence) nonce, then
+degrades the transmission per the channel model — ``loss_rate``
+packets never arrive (counted, never submitted) and ``corrupt_rate``
+of the arrivals carry a flipped tag byte, exercising the batch
+engine's early-reject/verify paths under realistic traffic.  Failed
+authentications are per-packet isolated and tallied in
+:attr:`WorkloadReport.auth_failures`.  The rx decisions derive only
+from ``(seed, channel, sequence)``, so both dataplanes and every
+execution backend replay the identical mixed workload.
+
+``run_workload(backend=...)`` selects where the batched dispatches'
+seal/open sweeps execute (:mod:`repro.crypto.fast.exec`): inline,
+a thread pool, or a process pool — outputs and completion order are
+identical across all three.
 """
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, replace
 from typing import List, Optional, Sequence
 
 from repro.analysis.throughput import WorkloadReport
 from repro.core.params import Algorithm, Direction
+from repro.crypto.fast.exec import BackendSpec
 from repro.errors import NoResourceError
 from repro.mccp.channel import Channel, FlushPolicy
 from repro.mccp.mccp import BATCHABLE_ALGORITHMS, Mccp
@@ -56,6 +77,36 @@ class ChannelConfig:
     #: Per-channel flush-policy override for the batched dataplane
     #: (None = the run_workload-level policy, or the channel default).
     flush_policy: Optional[FlushPolicy] = None
+    #: Fraction of this channel's packets that are receive-side
+    #: (DECRYPT) traffic; 0.0 defers to the run_workload-level knob.
+    #: Only AEAD channels generate rx traffic (CTR streams have no tag
+    #: to verify and keep transmitting).
+    rx_fraction: float = 0.0
+    #: Channel model for the rx share: fraction of secured packets
+    #: lost before arrival (never submitted, counted in the report).
+    loss_rate: float = 0.0
+    #: Fraction of *arriving* rx packets whose tag is corrupted in
+    #: flight (fails authentication; the dataplane must reject it
+    #: without disturbing batch-mates).
+    corrupt_rate: float = 0.0
+
+
+@dataclass(frozen=True)
+class _RxPlan:
+    """One receive-side packet as the channel delivered it."""
+
+    nonce: bytes
+    ciphertext: bytes
+    tag: bytes
+    lost: bool
+    corrupted: bool
+
+
+def _check_rate(name: str, value: float) -> float:
+    """Validate a probability knob (rx_fraction/loss_rate/corrupt_rate)."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be within [0.0, 1.0], got {value}")
+    return value
 
 
 def _arrived_packet(item: GeneratedPacket, now: int) -> Packet:
@@ -78,10 +129,11 @@ class SdrPlatform:
         core_count: int = 4,
         policy=None,
         seed: int = 0,
+        backend: BackendSpec = None,
     ):
         self.sim = sim if sim is not None else Simulator()
         self.mccp = Mccp(self.sim, core_count=core_count, policy=policy)
-        self.comm = CommController(self.sim, self.mccp, seed=seed)
+        self.comm = CommController(self.sim, self.mccp, seed=seed, backend=backend)
         self._next_key_id = 0
         self.seed = seed
 
@@ -106,15 +158,25 @@ class SdrPlatform:
         limit: int = 2_000_000_000,
         dataplane: str = "cores",
         flush_policy: Optional[FlushPolicy] = None,
+        backend: BackendSpec = None,
+        rx_fraction: float = 0.0,
+        loss_rate: float = 0.0,
+        corrupt_rate: float = 0.0,
     ) -> WorkloadReport:
         """Replay every channel's traffic to completion; returns the report.
 
         *dataplane* selects the execution engine (see module
         docstring); *flush_policy* overrides every provisioned
         channel's coalescing knobs for this run (per-config policies
-        win).  Both engines report into the same
+        win).  *backend* selects where the batched dispatches' crypto
+        sweeps execute for this run (:mod:`repro.crypto.fast.exec`;
+        None keeps the platform's backend).  *rx_fraction* /
+        *loss_rate* / *corrupt_rate* set the run-level receive-side
+        traffic mix (per-config non-zero values win, mirroring
+        *flush_policy*).  Both engines report into the same
         :class:`WorkloadReport`, which additionally carries the queue
-        depth / backpressure statistics of the batched pipeline.
+        depth / backpressure statistics of the batched pipeline and
+        the rx loss/auth-failure tallies.
         """
         if dataplane not in ("cores", "batched"):
             raise ValueError(f"unknown dataplane {dataplane!r}")
@@ -126,42 +188,19 @@ class SdrPlatform:
         base_submits = self.mccp.scheduler.requests_submitted
         base_retries = self.comm.backpressure_retries
         base_latencies = len(self.comm.latencies)
-
-        for config in configs:
-            channel, profile = self.provision_channel(config)
-            channels.append(channel)
-            policy = config.flush_policy or flush_policy
-            if policy is not None:
-                channel.flush_policy = replace(policy)
-            generator = TrafficGenerator(
-                channel_id=channel.channel_id,
-                profile=profile,
-                pattern=config.pattern,
-                seed=self.seed,
-                priority=config.priority,
+        base_auth_failures = self.comm.auth_failures
+        previous_backend = self.comm.backend
+        if backend is not None:
+            self.comm.backend = backend
+        try:
+            self._launch_channels(
+                configs, dataplane, flush_policy, report, done_events,
+                channels, rx_fraction, loss_rate, corrupt_rate,
             )
-            schedule = generator.generate(config.packets)
-            finished = self.sim.event(f"chan{channel.channel_id}.drained")
-            done_events.append(finished)
-            batched = (
-                dataplane == "batched"
-                and channel.algorithm in BATCHABLE_ALGORITHMS
-                and not (
-                    config.two_core_ccm and channel.algorithm is Algorithm.CCM
-                )
-            )
-            process = (
-                self._batched_channel_process
-                if batched
-                else self._core_channel_process
-            )
-            self.sim.add_process(
-                process(channel, config, schedule, report, finished),
-                name=f"chan{channel.channel_id}",
-            )
-
-        for event in done_events:
-            self.sim.run_until_event(event, limit=limit)
+            for event in done_events:
+                self.sim.run_until_event(event, limit=limit)
+        finally:
+            self.comm.backend = previous_backend
         report.total_cycles = self.sim.now
         report.latencies = list(self.comm.latencies[base_latencies:])
         report.core_submits = (
@@ -170,6 +209,7 @@ class SdrPlatform:
         report.backpressure_retries = (
             self.comm.backpressure_retries - base_retries
         )
+        report.auth_failures = self.comm.auth_failures - base_auth_failures
         for channel in channels:
             stats = channel.stats
             report.per_channel_queue_peak[channel.channel_id] = stats.get(
@@ -186,6 +226,119 @@ class SdrPlatform:
                     )
         return report
 
+    def _launch_channels(
+        self,
+        configs: Sequence[ChannelConfig],
+        dataplane: str,
+        flush_policy: Optional[FlushPolicy],
+        report: WorkloadReport,
+        done_events: list,
+        channels: List[Channel],
+        rx_fraction: float,
+        loss_rate: float,
+        corrupt_rate: float,
+    ) -> None:
+        """Provision every channel and spawn its traffic process."""
+        for config in configs:
+            channel, profile = self.provision_channel(config)
+            channels.append(channel)
+            policy = config.flush_policy or flush_policy
+            if policy is not None:
+                channel.flush_policy = replace(policy)
+            generator = TrafficGenerator(
+                channel_id=channel.channel_id,
+                profile=profile,
+                pattern=config.pattern,
+                seed=self.seed,
+                priority=config.priority,
+            )
+            schedule = generator.generate(config.packets)
+            plans = self._rx_plans(
+                channel,
+                schedule,
+                _check_rate(
+                    "rx_fraction", config.rx_fraction or rx_fraction
+                ),
+                _check_rate("loss_rate", config.loss_rate or loss_rate),
+                _check_rate(
+                    "corrupt_rate", config.corrupt_rate or corrupt_rate
+                ),
+            )
+            finished = self.sim.event(f"chan{channel.channel_id}.drained")
+            done_events.append(finished)
+            batched = (
+                dataplane == "batched"
+                and channel.algorithm in BATCHABLE_ALGORITHMS
+                and not (
+                    config.two_core_ccm and channel.algorithm is Algorithm.CCM
+                )
+            )
+            process = (
+                self._batched_channel_process
+                if batched
+                else self._core_channel_process
+            )
+            self.sim.add_process(
+                process(channel, config, schedule, plans, report, finished),
+                name=f"chan{channel.channel_id}",
+            )
+
+    # -- receive-side traffic --------------------------------------------------------
+
+    def _rx_plans(
+        self,
+        channel: Channel,
+        schedule: Sequence[GeneratedPacket],
+        rx_fraction: float,
+        loss_rate: float,
+        corrupt_rate: float,
+    ) -> List[Optional[_RxPlan]]:
+        """Per-packet rx decisions and pre-sealed arrivals (None = tx).
+
+        The platform plays the peer radio here, outside simulated time:
+        each rx packet is sealed under the channel key and the
+        deterministic per-(channel, sequence) nonce, then the channel
+        model decides loss and tag corruption.  All randomness derives
+        from ``(seed, channel_id)`` and is drawn in sequence order, so
+        the same mixed workload replays identically through either
+        dataplane and any execution backend.
+        """
+        if rx_fraction <= 0.0 or channel.algorithm not in BATCHABLE_ALGORITHMS:
+            return [None] * len(schedule)
+        from repro.crypto.fast.bulk import ccm_seal, gcm_seal
+
+        seal = gcm_seal if channel.algorithm is Algorithm.GCM else ccm_seal
+        key = self.mccp.key_memory.fetch_for_scheduler(channel.key_id)
+        rng = random.Random(
+            (self.seed << 20) ^ (channel.channel_id << 4) ^ 0x52585F
+        )
+        plans: List[Optional[_RxPlan]] = []
+        for item in schedule:
+            if rng.random() >= rx_fraction:
+                plans.append(None)
+                continue
+            packet = item.packet
+            nonce = self.comm.nonce_for(channel, packet.sequence)
+            ciphertext, tag = seal(
+                key, nonce, packet.payload, packet.header, channel.tag_length
+            )
+            lost = rng.random() < loss_rate
+            corrupted = not lost and rng.random() < corrupt_rate
+            if corrupted:
+                tag = tag[:-1] + bytes([tag[-1] ^ 0xFF])
+            plans.append(_RxPlan(nonce, ciphertext, tag, lost, corrupted))
+        return plans
+
+    def _rx_arrival(
+        self, report: WorkloadReport, packet: Packet, plan: _RxPlan
+    ) -> Optional[Packet]:
+        """Count one rx packet; returns its arrived form (None = lost)."""
+        report.rx_packets += 1
+        if plan.lost:
+            report.rx_lost += 1
+            return None
+        return replace(packet, payload=plan.ciphertext)
+
     # -- channel processes ----------------------------------------------------------
 
     def _account(self, report: WorkloadReport, channel: Channel, nbytes: int):
@@ -195,20 +348,32 @@ class SdrPlatform:
             report.per_channel_bytes.get(channel.channel_id, 0) + nbytes
         )
 
-    def _core_channel_process(self, channel, config, schedule, report, finished):
+    def _core_channel_process(
+        self, channel, config, schedule, plans, report, finished
+    ):
         """Width-1 pipeline on the simulated cores (cycle model)."""
-        for item in schedule:
+        for item, plan in zip(schedule, plans):
             if self.sim.now < item.arrival_cycle:
                 yield Delay(item.arrival_cycle - self.sim.now)
             packet = _arrived_packet(item, self.sim.now)
+            direction = Direction.ENCRYPT
             nonce = self.comm.nonce_for(channel, packet.sequence)
+            tag = None
+            if plan is not None:
+                arrived = self._rx_arrival(report, packet, plan)
+                if arrived is None:
+                    continue
+                packet, direction, nonce, tag = (
+                    arrived, Direction.DECRYPT, plan.nonce, plan.tag,
+                )
             while True:
                 try:
                     yield from self.comm.process_packet(
                         channel,
                         packet,
-                        Direction.ENCRYPT,
+                        direction,
                         nonce=nonce,
+                        tag=tag,
                         two_core=config.two_core_ccm
                         and channel.algorithm is Algorithm.CCM,
                     )
@@ -220,7 +385,9 @@ class SdrPlatform:
             self._account(report, channel, len(packet.payload))
         finished.trigger()
 
-    def _batched_channel_process(self, channel, config, schedule, report, finished):
+    def _batched_channel_process(
+        self, channel, config, schedule, plans, report, finished
+    ):
         """Coalescing pipeline through the batch engine.
 
         Packets become jobs as they arrive — no per-packet blocking —
@@ -229,12 +396,26 @@ class SdrPlatform:
         last under-filled batch never waits out its deadline.
         """
         jobs = []
-        for item in schedule:
+        for item, plan in zip(schedule, plans):
             if self.sim.now < item.arrival_cycle:
                 yield Delay(item.arrival_cycle - self.sim.now)
             packet = _arrived_packet(item, self.sim.now)
+            if plan is None:
+                jobs.append(
+                    self.comm.submit_job(channel, packet, Direction.ENCRYPT)
+                )
+                continue
+            arrived = self._rx_arrival(report, packet, plan)
+            if arrived is None:
+                continue
             jobs.append(
-                self.comm.submit_job(channel, packet, Direction.ENCRYPT)
+                self.comm.submit_job(
+                    channel,
+                    arrived,
+                    Direction.DECRYPT,
+                    nonce=plan.nonce,
+                    tag=plan.tag,
+                )
             )
         yield from self.comm.flush_now(channel)
         for job in jobs:

@@ -20,6 +20,7 @@ EXPECTED_BUILTINS = {
     "bench_kernels",
     "batch_aead",
     "radio_batch",
+    "backend_sweep",
 }
 
 

@@ -380,6 +380,60 @@ def test_reused_platform_reports_per_run_counters():
     assert second.mean_batch_width() > 0
 
 
+# -- execution backends ---------------------------------------------------------
+
+
+def test_backends_byte_identical_and_identically_ordered():
+    """Acceptance: the 8-channel mixed GCM/CCM workload produces the
+    same secured bytes AND the same CompletedTransfer ordering under
+    inline, thread and process execution (rx traffic included, so the
+    seal/open split genuinely exercises both directions)."""
+    from repro.crypto.fast.exec import ProcessPoolBackend, ThreadPoolBackend
+
+    def run(backend):
+        platform = SdrPlatform(core_count=4, seed=11)
+        report = platform.run_workload(
+            _mixed_configs(channels=8, packets=8),
+            dataplane="batched",
+            flush_policy=FlushPolicy(coalesce_limit=8, flush_deadline=4096),
+            backend=backend,
+            rx_fraction=0.4,
+            corrupt_rate=0.2,
+        )
+        order = [
+            (t.channel_id, t.sequence)
+            for t in platform.comm.completed.values()
+        ]
+        return report, order, _secured_bytes(platform)
+
+    inline_report, inline_order, inline_bytes = run(None)
+    thread_backend = ThreadPoolBackend(workers=3)
+    process_backend = ProcessPoolBackend(workers=2)
+    try:
+        for backend in (thread_backend, process_backend):
+            report, order, secured = run(backend)
+            assert secured == inline_bytes
+            assert order == inline_order
+            assert report.total_cycles == inline_report.total_cycles
+            assert report.auth_failures == inline_report.auth_failures
+            assert report.core_submits == 0
+    finally:
+        thread_backend.close()
+        process_backend.close()
+    assert inline_report.auth_failures > 0  # the split saw both sweeps
+
+
+def test_run_workload_backend_is_scoped_to_the_run():
+    platform = SdrPlatform(core_count=4, seed=3)
+    assert platform.comm.backend is None
+    platform.run_workload(
+        _mixed_configs(channels=2, packets=4),
+        dataplane="batched",
+        backend="thread:2",
+    )
+    assert platform.comm.backend is None  # restored after the run
+
+
 def test_close_refused_while_batch_in_flight():
     """A popped batch mid-dispatch must still block channel teardown:
     the jobs have left `pending` but their completions haven't fired,

@@ -32,7 +32,8 @@ def test_run_bench_quick_emits_snapshot(tmp_path):
         assert entry["iterations"] >= 1, name
     # Every *_fast kernel has a paired *_reference and a derived
     # speedup; batch kernels derive per-packet ratios vs the
-    # sequential fast kernel instead.
+    # sequential fast kernel, and backend-parametrized batch kernels
+    # derive pooled-over-inline ratios.
     assert set(snapshot["speedups"]) == {
         "aes_block",
         "gf128_mul",
@@ -43,8 +44,16 @@ def test_run_bench_quick_emits_snapshot(tmp_path):
         "gcm_2kb_batch32_per_packet",
         "ccm_2kb_batch32_per_packet",
         "radio_ccm_2kb_batch32_per_packet",
+        "gcm_2kb_batch32_thread_over_inline",
+        "ccm_2kb_batch32_thread_over_inline",
+        "ccm_2kb_batch32_process_over_inline",
+        "radio_ccm_2kb_batch32_thread_over_inline",
     }
     assert all(ratio > 0 for ratio in snapshot["speedups"].values())
+    # Backend context rides along for cross-machine honesty.
+    assert snapshot["backend"] in ("inline", "thread", "process")
+    assert snapshot["cpu_count"] >= 1
+    assert set(snapshot["backend_workers"]) == {"thread", "process"}
 
 
 def test_deterministic_bytes_is_stable_and_not_constant():
