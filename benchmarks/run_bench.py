@@ -34,6 +34,7 @@ from repro.crypto.fast import fast_enabled
 from repro.crypto.fast.aes_vector import HAVE_NUMPY
 from repro.crypto.fast.exec import default_backend
 from repro.experiments.kernels import bench_backend, build_kernels, measure
+from repro.resilience import stats as resilience_stats
 
 
 def main(argv=None) -> Path:
@@ -111,6 +112,10 @@ def main(argv=None) -> Path:
         },
         "process_degraded": process_backend.degraded_reason,
         "cpu_count": os.cpu_count(),
+        # Recovery counters accrued while benchmarking: a non-zero
+        # retry/degradation count here flags that the timing numbers
+        # were taken on a struggling host.
+        "resilience": resilience_stats.snapshot(),
         "benchmarks": results,
         "speedups": speedups,
     }

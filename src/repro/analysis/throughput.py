@@ -57,6 +57,24 @@ class WorkloadReport:
     #: each was rejected without releasing plaintext or disturbing its
     #: batch-mates.
     auth_failures: int = 0
+    # -- resilience (fault-injection recovery accounting) --------------
+    #: Backend spans / key fetches re-attempted after a retryable
+    #: failure.
+    retries: int = 0
+    #: Wall-clock watchdogs that expired a backend span.
+    watchdog_fires: int = 0
+    #: Backend degradations down the process -> thread -> inline chain.
+    degradations: int = 0
+    #: Degradation reasons, in order (e.g. "process -> thread: ...").
+    degradation_reasons: List[str] = field(default_factory=list)
+    #: Packets bisect-isolated out of a poisoned batch.
+    quarantined: int = 0
+    #: Jobs routed to a dead-letter queue (quarantines plus key-fetch
+    #: exhaustion); the drop side of open item 3's SLA budgets.
+    dead_lettered: int = 0
+    #: Injected faults that fired during the run (best-effort count:
+    #: faults inside shared-nothing process workers tally locally).
+    faults_injected: int = 0
 
     def throughput_mbps(self, clock_hz: float = CLOCK_HZ_DEFAULT) -> float:
         """Aggregate payload throughput at *clock_hz*."""

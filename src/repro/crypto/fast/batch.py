@@ -69,7 +69,15 @@ from repro.crypto.fast.bulk import (
     xor_data,
 )
 from repro.crypto.fast.exec import INLINE, BackendSpec, resolve_backend
-from repro.errors import BlockSizeError, TagError
+from repro.errors import (
+    BackendError,
+    BlockSizeError,
+    InjectedFault,
+    QuarantinedPacketError,
+    ReproError,
+    TagError,
+)
+from repro.resilience import faults as _faults
 from repro.utils.bytesops import pad_zeros
 
 try:  # pragma: no cover - exercised implicitly by every import
@@ -129,14 +137,33 @@ def _norm_open_packet(packet: Sequence) -> Tuple[bytes, bytes, bytes, bytes]:
     )
 
 
-def _seal_shard(mode: str, key: bytes, packets, tag_length: int):
+def _seal_shard(mode: str, key: bytes, packets, tag_length: int, fault=None):
     """One span of a sharded seal batch, run inline on a worker."""
-    return _SEAL_MANY[mode](key, packets, tag_length, backend=INLINE)
+    with _faults.executing(fault):
+        return _SEAL_MANY[mode](key, packets, tag_length, backend=INLINE)
 
 
-def _open_shard(mode: str, key: bytes, packets):
+def _open_shard(mode: str, key: bytes, packets, fault=None):
     """One span of a sharded open batch, run inline on a worker."""
-    return _OPEN_MANY[mode](key, packets, backend=INLINE)
+    with _faults.executing(fault):
+        return _OPEN_MANY[mode](key, packets, backend=INLINE)
+
+
+def _check_poisoned(packets) -> None:
+    """Raise for the first packet an active fault plan has poisoned.
+
+    Membership of the plan's nonce set is the whole decision, so the
+    same packet faults identically on every backend and in every
+    shard/bisect re-run — which is what lets the isolate path converge
+    on exactly the poisoned packet.
+    """
+    plan = _faults.active_plan()
+    if plan is None or not plan.poisoned:
+        return
+    for packet in packets:
+        nonce = bytes(packet[0])
+        if plan.is_poisoned(nonce):
+            raise InjectedFault(f"injected batch error (nonce {nonce.hex()})")
 
 
 def _run_sharded(backend, mode: str, key: bytes, seal_packets, open_packets,
@@ -149,6 +176,12 @@ def _run_sharded(backend, mode: str, key: bytes, seal_packets, open_packets,
     single-span direction halves still ship as two calls, so a small
     mixed dispatch's seal and open sweeps overlap on the workers even
     when neither half is wide enough to shard by itself.
+
+    When a fault plan is active each shard call carries a
+    :class:`FaultPoint` keyed by the span's first nonce: the executing
+    backend stamps in the live attempt number, and the worker applies
+    crash/hang/slow faults locally with the plan installed
+    thread-locally (so nonce-poison checks cross process boundaries).
     """
     seal_spans = backend.shard_spans(len(seal_packets))
     open_spans = backend.shard_spans(len(open_packets))
@@ -157,10 +190,21 @@ def _run_sharded(backend, mode: str, key: bytes, seal_packets, open_packets,
     key = bytes(key)
     seals = [_norm_seal_packet(p) for p in seal_packets]
     opens = [_norm_open_packet(p) for p in open_packets]
+    plan = _faults.active_plan()
+
+    def _call(fn, args, span_nonce):
+        if plan is None:
+            return (fn, args)
+        return (fn, args, _faults.FaultPoint(plan, (span_nonce,)))
+
     calls = [
-        (_seal_shard, (mode, key, seals[start:stop], tag_length))
+        _call(_seal_shard, (mode, key, seals[start:stop], tag_length),
+              seals[start][0])
         for start, stop in seal_spans
-    ] + [(_open_shard, (mode, key, opens[start:stop])) for start, stop in open_spans]
+    ] + [
+        _call(_open_shard, (mode, key, opens[start:stop]), opens[start][0])
+        for start, stop in open_spans
+    ]
     shards = backend.run(calls)
     sealed: List[Tuple[bytes, bytes]] = []
     for shard in shards[: len(seal_spans)]:
@@ -171,6 +215,30 @@ def _run_sharded(backend, mode: str, key: bytes, seal_packets, open_packets,
     return sealed, opened
 
 
+def _quarantine_split(packets: List, runner) -> List:
+    """Bisect a failing span down to per-packet results.
+
+    Healthy packets keep their normal results; each packet whose
+    singleton run still raises gets a :class:`QuarantinedPacketError`
+    in its slot instead of failing the whole span.  Backend
+    infrastructure errors propagate — they are the retry machinery's
+    business, not a poisoned packet.
+    """
+    if not packets:
+        return []
+    try:
+        return list(runner(packets))
+    except BackendError:
+        raise
+    except ReproError as exc:
+        if len(packets) == 1:
+            return [QuarantinedPacketError(str(exc))]
+        mid = len(packets) // 2
+        return _quarantine_split(packets[:mid], runner) + _quarantine_split(
+            packets[mid:], runner
+        )
+
+
 def seal_open_many(
     mode: str,
     key: bytes,
@@ -178,6 +246,7 @@ def seal_open_many(
     open_packets: Sequence[Sequence],
     tag_length: int = 16,
     backend: BackendSpec = None,
+    isolate: bool = False,
 ) -> Tuple[List[Tuple[bytes, bytes]], List[Optional[bytes]]]:
     """Seal one list and open another under one key, one backend pass.
 
@@ -188,20 +257,45 @@ def seal_open_many(
     seal+open traffic overlaps across workers instead of serialising
     direction by direction.  Results are positionally and
     byte-identical to calling the two ``*_many`` APIs inline.
+
+    With ``isolate=True`` a packet-level :class:`ReproError` (a
+    poisoned packet, a malformed nonce) no longer fails the whole
+    dispatch: the failing direction bisects inline until the bad
+    packets stand alone, and each gets a
+    :class:`QuarantinedPacketError` instance in its result slot —
+    batchmates keep their byte-identical results.  Backend
+    infrastructure errors still propagate (after the backend's own
+    retry/degradation machinery has given up on them).
     """
     if mode not in _SEAL_MANY:
         raise ValueError(f"unknown batch mode {mode!r}; valid: gcm, ccm")
     backend = resolve_backend(backend)
-    if backend.workers > 1:
-        sharded = _run_sharded(
-            backend, mode, key, seal_packets, open_packets, tag_length
+    try:
+        if backend.workers > 1:
+            sharded = _run_sharded(
+                backend, mode, key, seal_packets, open_packets, tag_length
+            )
+            if sharded is not None:
+                return sharded
+        return (
+            _SEAL_MANY[mode](key, seal_packets, tag_length, backend=INLINE),
+            _OPEN_MANY[mode](key, open_packets, backend=INLINE),
         )
-        if sharded is not None:
-            return sharded
-    return (
-        _SEAL_MANY[mode](key, seal_packets, tag_length, backend=INLINE),
-        _OPEN_MANY[mode](key, open_packets, backend=INLINE),
-    )
+    except ReproError as exc:
+        if not isolate or isinstance(exc, BackendError):
+            raise
+        return (
+            _quarantine_split(
+                list(seal_packets),
+                lambda span: _SEAL_MANY[mode](
+                    key, span, tag_length, backend=INLINE
+                ),
+            ),
+            _quarantine_split(
+                list(open_packets),
+                lambda span: _OPEN_MANY[mode](key, span, backend=INLINE),
+            ),
+        )
 
 
 # -- lane-parallel CBC-MAC -------------------------------------------------
@@ -433,6 +527,7 @@ def gcm_seal_many(
         )
     if not packets:
         return []
+    _check_poisoned(packets)
     backend = resolve_backend(backend)
     if backend.workers > 1:
         sharded = _run_sharded(backend, "gcm", key, packets, (), tag_length)
@@ -487,6 +582,7 @@ def gcm_open_many(
     for packet in packets:
         if len(bytes(packet[2])) not in VALID_TAG_LENGTHS:
             raise TagError(f"GCM tag length {len(bytes(packet[2]))} is invalid")
+    _check_poisoned(packets)
     backend = resolve_backend(backend)
     if backend.workers > 1:
         sharded = _run_sharded(backend, "gcm", key, (), packets, 16)
@@ -584,6 +680,7 @@ def ccm_seal_many(
 
     if not packets:
         return []
+    _check_poisoned(packets)
     backend = resolve_backend(backend)
     if backend.workers > 1:
         sharded = _run_sharded(backend, "ccm", key, packets, (), tag_length)
@@ -640,6 +737,7 @@ def ccm_open_many(
 
     if not packets:
         return []
+    _check_poisoned(packets)
     backend = resolve_backend(backend)
     if backend.workers > 1:
         sharded = _run_sharded(backend, "ccm", key, (), packets, 16)

@@ -35,6 +35,17 @@ never what they compute or the order results come back in — the
 equivalence suite pins inline == thread == process byte-for-byte
 across the crypto, MCCP and radio layers.
 
+Self-healing: :meth:`ExecutionBackend.run` owns the recovery loop.
+Infrastructure failures (:class:`repro.errors.BackendError`: a worker
+crash, a watchdog timeout, an injected fault) are retried per span
+with exponential backoff under a :class:`ResiliencePolicy`; when the
+retries are exhausted the backend degrades down the chain ``process``
+→ ``thread`` → ``inline`` (sticky, reason recorded in
+:attr:`ExecutionBackend.degradations`) instead of failing the
+dispatch.  Crypto errors are never retried or swallowed — a backend
+changes where calls run and how infrastructure failures heal, never
+what correct calls compute.
+
 Selection: ``REPRO_BACKEND`` in the environment (``inline``,
 ``thread``/``thread:N``, ``process``/``process:N`` with ``N`` worker
 cap) seeds the process-wide default; every ``backend=`` parameter up
@@ -47,11 +58,20 @@ from __future__ import annotations
 
 import atexit
 import os
+import time
 from abc import ABC, abstractmethod
 from typing import Callable, List, Optional, Sequence, Tuple, Union
 
-#: One unit of backend work: a callable plus positional arguments.
-Call = Tuple[Callable, tuple]
+from repro.errors import BackendError, BatchTimeoutError, WorkerCrashError
+from repro.resilience import stats as resilience_stats
+from repro.resilience.faults import FaultPoint
+from repro.resilience.policy import DEFAULT_POLICY, ResiliencePolicy
+
+#: One unit of backend work: a callable plus positional arguments.  A
+#: third element — a :class:`FaultPoint` — may ride along when fault
+#: injection is active; the backend stamps it into a directive (with
+#: the live attempt number and its own name) appended to the args.
+Call = Union[Tuple[Callable, tuple], Tuple[Callable, tuple, FaultPoint]]
 
 #: A backend parameter anywhere up the stack: an instance, a spec
 #: string ("thread:4"), or None for the process-wide default.
@@ -71,8 +91,50 @@ def _process_worker_init() -> None:
     either way no worker can inherit a parent LRU mid-mutation.
     """
     from repro.crypto.fast import clear_caches
+    from repro.resilience.faults import mark_exec_worker
 
     clear_caches()
+    # Lets an injected worker_crash hard-exit the child (a genuine
+    # BrokenProcessPool) instead of raising into the parent.
+    mark_exec_worker()
+
+
+class _Success:
+    """Per-call outcome: the call returned *value*."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: object):
+        self.value = value
+
+
+class _Failure:
+    """Per-call outcome: the call raised *error*."""
+
+    __slots__ = ("error",)
+
+    def __init__(self, error: BaseException):
+        self.error = error
+
+
+def _serial_outcomes(calls: Sequence[Tuple[Callable, tuple]]) -> List[object]:
+    """Run prepared calls in the calling thread, one outcome per call.
+
+    Retryable (:class:`BackendError`) failures keep the sweep going so
+    every retryable span is known before the retry round; the first
+    non-retryable failure stops execution immediately — it will be
+    raised anyway, and later calls must not run twice.
+    """
+    outcomes: List[object] = []
+    for fn, args in calls:
+        try:
+            outcomes.append(_Success(fn(*args)))
+        except BackendError as exc:
+            outcomes.append(_Failure(exc))
+        except Exception as exc:
+            outcomes.append(_Failure(exc))
+            break
+    return outcomes
 
 
 class ExecutionBackend(ABC):
@@ -87,19 +149,149 @@ class ExecutionBackend(ABC):
     #: only picklable top-level calls.
     supports_shared_state: bool = True
 
+    def __init__(self) -> None:
+        #: Per-instance recovery budget (None = module default).
+        self.resilience: Optional[ResiliencePolicy] = None
+        #: Sticky degradation target after an unhealable infrastructure
+        #: failure: once set, every run is delegated down the chain.
+        self._degraded_to: Optional["ExecutionBackend"] = None
+        #: Recorded degradation reasons, in order (crash-driven chain
+        #: degradation; the process backend's *structural* fallback
+        #: keeps its own ``degraded_reason`` attribute).
+        self.degradations: List[str] = []
+
     @property
     @abstractmethod
     def workers(self) -> int:
         """Upper bound on concurrently executing calls (>= 1)."""
 
     @abstractmethod
-    def run(self, calls: Sequence[Call]) -> List[object]:
+    def _execute(
+        self,
+        calls: Sequence[Tuple[Callable, tuple]],
+        timeout: Optional[float],
+    ) -> List[object]:
+        """Run prepared calls once; per-call outcomes in order.
+
+        Returns :class:`_Success`/:class:`_Failure` wrappers (may be
+        shorter than *calls* if execution stopped at a non-retryable
+        failure).  Raises :class:`BackendError` for *pool-level*
+        failures that doomed the whole span — a broken process pool,
+        a watchdog timeout — which the retry loop owns.
+        """
+
+    def fallback(self) -> Optional["ExecutionBackend"]:
+        """Next link of the degradation chain (None = nowhere to go)."""
+        return None
+
+    def reset_degradation(self) -> None:
+        """Forget sticky crash degradation (test/bench isolation)."""
+        self._degraded_to = None
+        self.degradations.clear()
+
+    def run(
+        self,
+        calls: Sequence[Call],
+        policy: Optional[ResiliencePolicy] = None,
+    ) -> List[object]:
         """Execute every call; results in submission order.
 
         Exceptions raised by a call propagate to the caller (after all
         submitted work has been collected or abandoned by the pool) —
-        a backend never swallows a crypto error.
+        a backend never swallows a crypto error.  Infrastructure
+        failures (:class:`BackendError`) are healed instead: failed
+        spans retry with exponential backoff, a watchdogged span that
+        overruns is abandoned and retried, and when retries are
+        exhausted the span completes on the fallback chain
+        (``process`` → ``thread`` → ``inline``) with the reason
+        recorded — degradation is sticky for the instance.
         """
+        calls = list(calls)
+        if not calls:
+            return []
+        if policy is None:
+            policy = self.resilience or DEFAULT_POLICY
+        return self._run_recovering(calls, policy)
+
+    def _prepare(
+        self, call: Call, attempt: int
+    ) -> Tuple[Callable, tuple]:
+        """Bind a call for execution, stamping any fault directive."""
+        if len(call) == 2:
+            return call  # type: ignore[return-value]
+        fn, args, point = call
+        return fn, (*args, point.directive(attempt, self.name))
+
+    def _run_recovering(
+        self, calls: List[Call], policy: ResiliencePolicy
+    ) -> List[object]:
+        if self._degraded_to is not None:
+            return self._degraded_to._run_recovering(calls, policy)
+        results: List[object] = [None] * len(calls)
+        pending = list(range(len(calls)))
+        attempt = 0
+        while True:
+            prepared = [self._prepare(calls[i], attempt) for i in pending]
+            try:
+                outcomes = self._execute(prepared, policy.watchdog_seconds)
+            except BackendError as exc:
+                if attempt < policy.max_retries:
+                    attempt = self._note_retry(attempt, policy)
+                    continue
+                return self._degrade_or_raise(
+                    exc, calls, pending, results, policy
+                )
+            failed: List[int] = []
+            span_error: Optional[BackendError] = None
+            for index, outcome in zip(pending, outcomes):
+                if isinstance(outcome, _Failure):
+                    if isinstance(outcome.error, BackendError):
+                        failed.append(index)
+                        if span_error is None:
+                            span_error = outcome.error
+                    else:
+                        raise outcome.error
+                else:
+                    results[index] = outcome.value
+            if not failed:
+                return results
+            pending = failed
+            if attempt < policy.max_retries:
+                attempt = self._note_retry(attempt, policy)
+                continue
+            assert span_error is not None
+            return self._degrade_or_raise(
+                span_error, calls, pending, results, policy
+            )
+
+    @staticmethod
+    def _note_retry(attempt: int, policy: ResiliencePolicy) -> int:
+        resilience_stats.record_retry()
+        pause = policy.backoff(attempt)
+        if pause > 0:
+            time.sleep(pause)
+        return attempt + 1
+
+    def _degrade_or_raise(
+        self,
+        error: BackendError,
+        calls: List[Call],
+        pending: List[int],
+        results: List[object],
+        policy: ResiliencePolicy,
+    ) -> List[object]:
+        """Retries exhausted: hand the still-failing spans down the chain."""
+        target = self.fallback() if policy.degrade else None
+        if target is None:
+            raise error
+        reason = f"{self.name} -> {target.name}: {error}"
+        self.degradations.append(reason)
+        self._degraded_to = target
+        resilience_stats.record_degradation(reason)
+        healed = target._run_recovering([calls[i] for i in pending], policy)
+        for index, value in zip(pending, healed):
+            results[index] = value
+        return results
 
     def shard_spans(
         self, count: int, min_shard: int = DEFAULT_MIN_SHARD
@@ -138,7 +330,12 @@ class ExecutionBackend(ABC):
 
 
 class InlineBackend(ExecutionBackend):
-    """Run every call sequentially in the calling thread (default)."""
+    """Run every call sequentially in the calling thread (default).
+
+    The end of the degradation chain: no pool to break, no worker to
+    crash, nothing for a watchdog to abandon — injected worker faults
+    are inert here, which is what makes chain degradation terminate.
+    """
 
     name = "inline"
     supports_shared_state = True
@@ -147,8 +344,51 @@ class InlineBackend(ExecutionBackend):
     def workers(self) -> int:
         return 1
 
-    def run(self, calls: Sequence[Call]) -> List[object]:
-        return [fn(*args) for fn, args in calls]
+    def _execute(
+        self,
+        calls: Sequence[Tuple[Callable, tuple]],
+        timeout: Optional[float],
+    ) -> List[object]:
+        # Inline execution cannot be preempted; the watchdog does not
+        # apply (timeout intentionally unused).
+        return _serial_outcomes(calls)
+
+
+def _pooled_outcomes(futures, timeout: Optional[float]):
+    """Collect future results in submission order under one deadline.
+
+    The deadline covers the whole span, not each future: a hung worker
+    must cost one watchdog budget, however wide the batch.  Raises
+    :class:`BatchTimeoutError` on expiry with the futures abandoned
+    (cancelled where still possible).
+    """
+    from concurrent.futures import BrokenExecutor
+    from concurrent.futures import TimeoutError as FutureTimeout
+
+    deadline = None if timeout is None else time.monotonic() + timeout
+    outcomes: List[object] = []
+    for future in futures:
+        remaining = (
+            None if deadline is None else max(0.0, deadline - time.monotonic())
+        )
+        try:
+            outcomes.append(_Success(future.result(remaining)))
+        except FutureTimeout:
+            for pending in futures:
+                pending.cancel()
+            resilience_stats.record_watchdog()
+            raise BatchTimeoutError(
+                f"backend span exceeded its {timeout:.3f}s watchdog"
+            ) from None
+        except BrokenExecutor:
+            # Pool-level, not call-level: the owning backend converts
+            # it to a retryable WorkerCrashError.
+            raise
+        except BackendError as exc:
+            outcomes.append(_Failure(exc))
+        except Exception as exc:
+            outcomes.append(_Failure(exc))
+    return outcomes
 
 
 class ThreadPoolBackend(ExecutionBackend):
@@ -158,6 +398,7 @@ class ThreadPoolBackend(ExecutionBackend):
     supports_shared_state = True
 
     def __init__(self, workers: Optional[int] = None):
+        super().__init__()
         if workers is not None and workers < 1:
             raise ValueError(f"thread backend needs >= 1 worker, got {workers}")
         self._requested = workers
@@ -166,6 +407,9 @@ class ThreadPoolBackend(ExecutionBackend):
     @property
     def workers(self) -> int:
         return self._requested or (os.cpu_count() or 1)
+
+    def fallback(self) -> Optional[ExecutionBackend]:
+        return INLINE
 
     def _ensure_pool(self):
         if self._pool is None:
@@ -176,13 +420,16 @@ class ThreadPoolBackend(ExecutionBackend):
             )
         return self._pool
 
-    def run(self, calls: Sequence[Call]) -> List[object]:
-        calls = list(calls)
+    def _execute(
+        self,
+        calls: Sequence[Tuple[Callable, tuple]],
+        timeout: Optional[float],
+    ) -> List[object]:
         if len(calls) <= 1 or self.workers <= 1:
-            return [fn(*args) for fn, args in calls]
+            return _serial_outcomes(calls)
         pool = self._ensure_pool()
         futures = [pool.submit(fn, *args) for fn, args in calls]
-        return [future.result() for future in futures]
+        return _pooled_outcomes(futures, timeout)
 
     def close(self) -> None:
         if self._pool is not None:
@@ -204,12 +451,17 @@ class ProcessPoolBackend(ExecutionBackend):
     supports_shared_state = False
 
     def __init__(self, workers: Optional[int] = None):
+        super().__init__()
         if workers is not None and workers < 1:
             raise ValueError(f"process backend needs >= 1 worker, got {workers}")
         self._requested = workers
         self._pool = None
+        self._fallback: Optional[ThreadPoolBackend] = None
         #: Why the backend fell back to inline execution (None = it
         #: has not; pools are created lazily on the first wide run).
+        #: This is the *structural* fallback — child processes are
+        #: impossible here, full stop — distinct from the crash-driven
+        #: chain degradation recorded in :attr:`degradations`.
         self.degraded_reason: Optional[str] = None
 
     @property
@@ -217,6 +469,12 @@ class ProcessPoolBackend(ExecutionBackend):
         if self.degraded_reason is not None:
             return 1
         return self._requested or (os.cpu_count() or 1)
+
+    def fallback(self) -> Optional[ExecutionBackend]:
+        """Degrade to threads first: overlap survives a broken pool."""
+        if self._fallback is None:
+            self._fallback = ThreadPoolBackend(self._requested)
+        return self._fallback
 
     def _ensure_pool(self):
         if self._pool is not None or self.degraded_reason is not None:
@@ -238,29 +496,46 @@ class ProcessPoolBackend(ExecutionBackend):
             self.degraded_reason = f"process pool unavailable: {exc}"
         return self._pool
 
-    def run(self, calls: Sequence[Call]) -> List[object]:
-        calls = list(calls)
+    def _abandon_pool(self) -> None:
+        """Drop the pool without waiting (hung or broken workers)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    def _execute(
+        self,
+        calls: Sequence[Tuple[Callable, tuple]],
+        timeout: Optional[float],
+    ) -> List[object]:
         if len(calls) <= 1 or self.workers <= 1:
-            return [fn(*args) for fn, args in calls]
+            return _serial_outcomes(calls)
         pool = self._ensure_pool()
         if pool is None:
-            return [fn(*args) for fn, args in calls]
+            return _serial_outcomes(calls)
         from concurrent.futures.process import BrokenProcessPool
 
         try:
             futures = [pool.submit(fn, *args) for fn, args in calls]
-            return [future.result() for future in futures]
+            return _pooled_outcomes(futures, timeout)
         except BrokenProcessPool as exc:
-            # Pool-level failure (a worker died, not a call raising):
-            # degrade for the rest of the process and redo inline.
-            self.degraded_reason = f"process pool broke: {exc}"
-            self.close()
-            return [fn(*args) for fn, args in calls]
+            # Pool-level failure: a worker died, not a call raising.
+            # Drop the dead pool and report retryable; the retry loop
+            # recreates a fresh pool, and persistent crashes degrade
+            # down the chain instead of failing the dispatch.
+            self._abandon_pool()
+            raise WorkerCrashError(f"process pool broke: {exc}") from exc
+        except BatchTimeoutError:
+            # The hung worker keeps its slot until the child exits;
+            # abandon the pool so the retry starts on healthy workers.
+            self._abandon_pool()
+            raise
 
     def close(self) -> None:
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        if self._fallback is not None:
+            self._fallback.close()
 
 
 #: Shared inline singleton: shard workers execute through this so a
@@ -372,6 +647,8 @@ __all__ = [
     "Call",
     "BackendSpec",
     "DEFAULT_MIN_SHARD",
+    "DEFAULT_POLICY",
+    "ResiliencePolicy",
     "ExecutionBackend",
     "InlineBackend",
     "ThreadPoolBackend",

@@ -124,5 +124,44 @@ class ExperimentError(ReproError):
     malformed grid/metrics, baseline-comparison misuse)."""
 
 
+class ResilienceError(ReproError):
+    """Base class for fault-injection and recovery-path errors.
+
+    The red/black boundary still catches one root type: everything the
+    self-healing machinery raises — or deliberately injects — derives
+    from here (and therefore from :class:`ReproError`).
+    """
+
+
+class BackendError(ResilienceError):
+    """Execution-backend *infrastructure* failure, as opposed to a
+    crypto error raised by the work itself.  These are the only errors
+    the retry/degradation machinery in ``ExecutionBackend.run`` treats
+    as retryable; a crypto error always propagates untouched."""
+
+
+class WorkerCrashError(BackendError):
+    """A pool worker died mid-span (broken process pool, or an injected
+    crash simulating one)."""
+
+
+class BatchTimeoutError(BackendError):
+    """A backend span exceeded its wall-clock watchdog budget."""
+
+
+class QuarantinedPacketError(ResilienceError):
+    """A packet poisoned its batch and was bisect-isolated; the batch
+    layer returns this in the packet's result slot so batchmates are
+    undisturbed and the dataplane can dead-letter just the one job."""
+
+
+class InjectedFault(ResilienceError):
+    """Raised at a fault site on behalf of an active ``FaultPlan``.
+
+    Only ever raised while fault injection is enabled (``REPRO_FAULTS``
+    or a programmatic plan); production paths never construct one.
+    """
+
+
 class SchedulerError(ReproError):
     """Raised by task-mapping policies on invalid configuration."""

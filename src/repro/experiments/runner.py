@@ -29,6 +29,7 @@ from repro.crypto.fast.aes_vector import HAVE_NUMPY
 from repro.crypto.fast.exec import default_backend
 from repro.errors import ExperimentError
 from repro.experiments.scenario import Metrics, Scenario, case_seed, get, resolve
+from repro.resilience import stats as resilience_stats
 
 #: One unit of work: (scenario name, case index, params, seed, quick).
 RunUnit = Tuple[str, int, Dict[str, object], int, bool]
@@ -133,6 +134,10 @@ def run_sweep(
         # backend-parametrized kernels and the backend_sweep scenario).
         "backend": default_backend().name,
         "cpu_count": os.cpu_count(),
+        # Recovery counters accrued in this (parent) process during the
+        # sweep — chaos legs and any incidental degradations leave their
+        # fingerprint in the artifact next to the backend metadata.
+        "resilience": resilience_stats.snapshot(),
         "quick": quick,
         "base_seed": base_seed,
         "parallel": parallel,

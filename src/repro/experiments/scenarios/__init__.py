@@ -10,6 +10,7 @@ from repro.experiments.scenarios import (  # noqa: F401  (registration imports)
     backends,
     batch,
     bench,
+    chaos,
     platform,
     radio,
     stress,

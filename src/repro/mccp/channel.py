@@ -154,6 +154,12 @@ class Channel:
     in_flight: int = 0
     #: When queued jobs dispatch (size threshold + idle deadline).
     flush_policy: FlushPolicy = field(default_factory=FlushPolicy)
+    #: Jobs that failed unrecoverably (quarantined packet, unreadable
+    #: key) and were pulled out of the normal completion stream's
+    #: accounting: each carries a failed ``result`` whose ``error``
+    #: says why.  The per-channel quarantine the ROADMAP's SLA budgets
+    #: (open item 3) will draw drop accounting from.
+    dead_letters: List[PacketJob] = field(default_factory=list)
 
     @property
     def coalesce_limit(self) -> int:

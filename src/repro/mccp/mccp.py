@@ -38,8 +38,17 @@ from repro.core.params import Algorithm, Direction
 from repro.crypto.fast.exec import INLINE, BackendSpec, resolve_backend
 from repro.crypto.modes.ccm import _check_params as _ccm_check_params
 from repro.crypto.modes.gcm import VALID_TAG_LENGTHS as _GCM_VALID_TAG_LENGTHS
-from repro.errors import ChannelError, NoResourceError, ProtocolError
+from repro.errors import (
+    ChannelError,
+    InjectedFault,
+    KeyStoreError,
+    NoResourceError,
+    ProtocolError,
+    QuarantinedPacketError,
+)
 from repro.mccp.channel import Channel, PacketJob
+from repro.resilience import faults as _faults
+from repro.resilience import stats as _resilience_stats
 from repro.mccp.crossbar import Crossbar
 from repro.mccp.instructions import (
     CloseInstr,
@@ -79,6 +88,16 @@ class BatchResult:
     payload: bytes
     #: The freshly computed tag (ENCRYPT only).
     tag: Optional[bytes] = None
+    #: Why the packet failed *other than* authentication: a quarantined
+    #: (poisoned) packet or an unreadable key.  ``ok`` is False and the
+    #: dataplane routes the job to the dead-letter queue instead of
+    #: counting an auth failure.  None on every healthy packet.
+    error: Optional[str] = None
+
+
+#: Attempts at a key-memory read before the whole batch dead-letters
+#: (the first try plus two retries, mirroring the backend default).
+KEY_FETCH_ATTEMPTS = 3
 
 
 class Mccp:
@@ -306,11 +325,63 @@ class Mccp:
         identically ordered whichever backend runs them.
         """
         channel = self.scheduler.get_channel(channel_id)
-        key = self.key_memory.fetch_for_scheduler(channel.key_id)
-        results = self._dispatch_batch(
-            channel, key, jobs, backend if backend is not None else self.backend
-        )
+        key, key_error = self._fetch_key_resilient(channel, jobs)
+        if key is None:
+            results = self._dead_letter_batch(channel, jobs, key_error)
+        else:
+            results = self._dispatch_batch(
+                channel, key, jobs,
+                backend if backend is not None else self.backend,
+            )
         channel.stats["batches"] = channel.stats.get("batches", 0) + 1
+        return results
+
+    def _fetch_key_resilient(
+        self, channel: Channel, jobs: Sequence[PacketJob]
+    ) -> Tuple[Optional[bytes], str]:
+        """Key-memory read with retry; ``(key, '')`` or ``(None, why)``.
+
+        A read error — real :class:`KeyStoreError`, or injected at the
+        ``key_error`` site — retries up to :data:`KEY_FETCH_ATTEMPTS`
+        total attempts; exhaustion reports the reason so the caller can
+        dead-letter the batch instead of unwinding the dataplane.
+        """
+        plan = _faults.active_plan()
+        fault_key = (channel.channel_id, jobs[0].sequence if jobs else 0)
+        last_error = ""
+        for attempt in range(KEY_FETCH_ATTEMPTS):
+            try:
+                if plan is not None and plan.decide(
+                    "key_error", fault_key, attempt
+                ):
+                    _resilience_stats.record_fault()
+                    raise InjectedFault(
+                        f"injected key-memory read error "
+                        f"(channel {channel.channel_id}, key {channel.key_id})"
+                    )
+                return self.key_memory.fetch_for_scheduler(channel.key_id), ""
+            except (KeyStoreError, InjectedFault) as exc:
+                last_error = str(exc)
+                if attempt + 1 < KEY_FETCH_ATTEMPTS:
+                    _resilience_stats.record_retry()
+        return None, last_error
+
+    def _dead_letter_batch(
+        self, channel: Channel, jobs: Sequence[PacketJob], reason: str
+    ) -> List[BatchResult]:
+        """Fail every job in the batch into the dead-letter queue."""
+        results = []
+        for job in jobs:
+            result = BatchResult(ok=False, payload=b"", error=reason)
+            job.result = result
+            results.append(result)
+            channel.packets_processed += 1
+            channel.bytes_processed += len(job.data)
+            channel.dead_letters.append(job)
+        channel.stats["dead_lettered"] = channel.stats.get(
+            "dead_lettered", 0
+        ) + len(jobs)
+        _resilience_stats.record_dead_letter(len(jobs))
         return results
 
     def flush_channel(
@@ -379,9 +450,28 @@ class Mccp:
         The two direction lists go through :func:`repro.crypto.fast
         .batch.seal_open_many` as one backend pass, so a mixed batch's
         encrypt and decrypt sweeps overlap across workers.
+
+        Dispatches run with ``isolate=True``: a packet-level failure (a
+        poisoned packet under fault injection) quarantines alone — the
+        job gets a failed :class:`BatchResult` carrying the error,
+        joins the channel's dead-letter queue, and its batchmates'
+        results stay byte-identical to the fault-free run.  Only
+        genuine tag-verification failures count toward
+        :attr:`Channel.auth_failures`.
         """
         from repro.crypto.fast import batch as fast_batch
 
+        plan = _faults.active_plan()
+        if plan is not None:
+            # Mark injected batch errors while channel/sequence are in
+            # hand; the engine checks nonce membership, which crosses
+            # process boundaries with the plan.
+            for job in batch:
+                if plan.decide(
+                    "batch_error", (channel.channel_id, job.sequence)
+                ) and not plan.is_poisoned(job.nonce):
+                    plan.poison(job.nonce)
+                    _resilience_stats.record_fault()
         mode = "gcm" if channel.algorithm is Algorithm.GCM else "ccm"
         seal_indices = [
             i for i, p in enumerate(batch) if p.direction is Direction.ENCRYPT
@@ -399,19 +489,34 @@ class Mccp:
             ],
             channel.tag_length,
             backend=backend,
+            isolate=True,
         )
         results: List[Optional[BatchResult]] = [None] * len(batch)
-        for i, (ciphertext, tag) in zip(seal_indices, sealed):
-            results[i] = BatchResult(ok=True, payload=ciphertext, tag=tag)
-        for i, plaintext in zip(open_indices, opened):
-            results[i] = BatchResult(
-                ok=plaintext is not None, payload=plaintext or b""
-            )
+        for i, item in zip(seal_indices, sealed):
+            if isinstance(item, QuarantinedPacketError):
+                results[i] = BatchResult(ok=False, payload=b"", error=str(item))
+            else:
+                ciphertext, tag = item
+                results[i] = BatchResult(ok=True, payload=ciphertext, tag=tag)
+        for i, item in zip(open_indices, opened):
+            if isinstance(item, QuarantinedPacketError):
+                results[i] = BatchResult(ok=False, payload=b"", error=str(item))
+            else:
+                results[i] = BatchResult(
+                    ok=item is not None, payload=item or b""
+                )
         for job, result in zip(batch, results):
             job.result = result
             channel.packets_processed += 1
             channel.bytes_processed += len(job.data)
-            if not result.ok:
+            if result.error is not None:
+                channel.dead_letters.append(job)
+                channel.stats["dead_lettered"] = (
+                    channel.stats.get("dead_lettered", 0) + 1
+                )
+                _resilience_stats.record_quarantine()
+                _resilience_stats.record_dead_letter()
+            elif not result.ok:
                 channel.auth_failures += 1
         return results
 

@@ -48,6 +48,8 @@ from repro.radio.formatting import (
     parse_output,
 )
 from repro.radio.packet import Packet, SecuredPacket
+from repro.resilience import faults as _faults
+from repro.resilience import stats as _resilience_stats
 from repro.sim.kernel import Delay, Event, Simulator
 from repro.utils.bits import words32_to_bytes
 
@@ -96,6 +98,12 @@ class CommController:
         #: NoResourceError retries observed by job-pipeline callers
         #: (radio-side backpressure; see SdrPlatform.run_workload).
         self.backpressure_retries = 0
+        #: Per-channel dead-letter queue: failed CompletedTransfers for
+        #: jobs that ended unrecoverably (quarantined packet, key-read
+        #: exhaustion) — never auth failures, which stay in the normal
+        #: completion accounting.  ``transfer.extra['dead_letter']``
+        #: carries the reason.
+        self.dead_letter: Dict[int, List[CompletedTransfer]] = {}
         # -- flush-policy machinery (batched dispatch) -----------------
         self._jobs_completed = 0
         self._flush_scheduled: Set[int] = set()
@@ -311,7 +319,15 @@ class CommController:
         self.completed[-self._jobs_completed] = transfer
         self.latencies.append(self.sim.now - job.created_cycle)
         if not result.ok:
-            self.auth_failures += 1
+            if result.error is not None:
+                # Unrecoverable failure, not a forged tag: route to the
+                # channel's dead-letter queue for SLA drop accounting.
+                transfer.extra["dead_letter"] = result.error
+                self.dead_letter.setdefault(job.channel_id, []).append(
+                    transfer
+                )
+            else:
+                self.auth_failures += 1
         if job.completion is not None and not job.completion.triggered:
             job.completion.trigger(transfer)
         return transfer
@@ -368,6 +384,15 @@ class CommController:
         )
         tasks = result if isinstance(result, tuple) else (result,)
         job.enqueued_cycle = self.sim.now
+        plan = _faults.active_plan()
+        if plan is not None and plan.decide(
+            "core_stall", (job.channel_id, job.sequence)
+        ):
+            # An injected core stall costs simulated cycles only; the
+            # job's bytes are untouched and order is preserved because
+            # the stall happens before the core is even requested.
+            _resilience_stats.record_fault()
+            yield Delay(plan.stall_cycles)
         # ENCRYPT/DECRYPT control instruction (scheduler software cost).
         yield self.mccp.scheduler.overhead_delay()
         request = self.mccp.submit(

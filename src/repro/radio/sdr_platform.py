@@ -59,6 +59,7 @@ from repro.radio.comm_controller import CommController
 from repro.radio.packet import Packet
 from repro.radio.standards import STANDARD_PROFILES, RadioStandard
 from repro.radio.traffic import GeneratedPacket, TrafficGenerator, TrafficPattern
+from repro.resilience import stats as resilience_stats
 from repro.sim.kernel import Delay, Simulator
 
 __all__ = ["ChannelConfig", "SdrPlatform", "WorkloadReport"]
@@ -189,6 +190,9 @@ class SdrPlatform:
         base_retries = self.comm.backpressure_retries
         base_latencies = len(self.comm.latencies)
         base_auth_failures = self.comm.auth_failures
+        # Resilience counters are process-wide (recovery fires deep in
+        # the backend layer); the before/after delta is this run's.
+        base_resilience = resilience_stats.snapshot()
         previous_backend = self.comm.backend
         if backend is not None:
             self.comm.backend = backend
@@ -210,6 +214,14 @@ class SdrPlatform:
             self.comm.backpressure_retries - base_retries
         )
         report.auth_failures = self.comm.auth_failures - base_auth_failures
+        accrued = resilience_stats.delta(base_resilience)
+        report.retries = accrued["retries"]
+        report.watchdog_fires = accrued["watchdog_fires"]
+        report.degradations = accrued["degradations"]
+        report.degradation_reasons = accrued["degradation_reasons"]
+        report.quarantined = accrued["quarantined"]
+        report.dead_lettered = accrued["dead_lettered"]
+        report.faults_injected = accrued["faults_injected"]
         for channel in channels:
             stats = channel.stats
             report.per_channel_queue_peak[channel.channel_id] = stats.get(

@@ -2,7 +2,10 @@
 
 from __future__ import annotations
 
+import contextlib
 import random
+import signal
+import threading
 
 import pytest
 
@@ -44,6 +47,44 @@ def run_single_core(task, key=None, trace=None):
 def single_core_runner():
     """Fixture exposing :func:`run_single_core`."""
     return run_single_core
+
+
+@pytest.fixture
+def hang_guard():
+    """Wall-clock guard for tests that exercise hang recovery.
+
+    ``pytest-timeout`` is not a baked-in dependency, so this is a
+    SIGALRM-based stand-in: ``with hang_guard(seconds):`` fails the
+    test (rather than hanging the whole suite) if the block overruns.
+    Degrades to a no-op where SIGALRM cannot be armed (non-main
+    thread, platforms without setitimer).
+    """
+
+    @contextlib.contextmanager
+    def _guard(seconds: float):
+        can_alarm = (
+            hasattr(signal, "SIGALRM")
+            and hasattr(signal, "setitimer")
+            and threading.current_thread() is threading.main_thread()
+        )
+        if not can_alarm:
+            yield
+            return
+
+        def _expired(signum, frame):
+            raise TimeoutError(
+                f"hang_guard: test block exceeded {seconds:.1f}s wall clock"
+            )
+
+        previous = signal.signal(signal.SIGALRM, _expired)
+        signal.setitimer(signal.ITIMER_REAL, seconds)
+        try:
+            yield
+        finally:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, previous)
+
+    return _guard
 
 
 @pytest.fixture

@@ -1,0 +1,20 @@
+"""Isolation for the fault-injection tests.
+
+Every test starts with no active fault plan and zeroed recovery
+counters, and cannot leak either into the rest of the suite.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.resilience import set_fault_plan, stats
+
+
+@pytest.fixture(autouse=True)
+def _clean_resilience_state():
+    set_fault_plan(None)
+    stats.reset()
+    yield
+    set_fault_plan(None)
+    stats.reset()
