@@ -28,6 +28,7 @@ from pathlib import Path
 if __package__ is None and __name__ == "__main__":  # script invocation
     sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+from repro.experiments.kernels import measure_pipelined
 from repro.experiments.scenarios.backends import measure_backends
 
 
@@ -71,6 +72,28 @@ def main(argv=None) -> int:
             "warn: process backend slower than inline "
             "(expected for small batches: per-shard pickling)"
         )
+    # Pipelined dataplane check: byte/order/stamp identity against the
+    # synchronous dataplane fails hard anywhere; the packets/s ratio is
+    # warn-only (and only meaningful on >= 2 CPUs, where sim-time
+    # coalescing can genuinely overlap worker crypto).
+    piped = measure_pipelined(args.width, args.seconds)
+    pipe_rates = piped["rates"]
+    for name, rate in pipe_rates.items():
+        print(f"{name:12s} {rate:10.1f} packets/s (thread dataplane)")
+    if not piped["identical"]:
+        print("FAIL: pipelined dataplane diverges from synchronous")
+        return 1
+    pipelined_speedup = pipe_rates["pipelined"] / pipe_rates["synchronous"]
+    print(
+        f"pipelined speedup over synchronous: {pipelined_speedup:.2f}x "
+        "(warn-only)"
+    )
+    if cpu_count >= 2 and pipelined_speedup < 1.0:
+        print(
+            "warn: pipelined dataplane slower than synchronous on a "
+            "multi-core host (expected overlap did not materialise)"
+        )
+
     if cpu_count < 2:
         print(
             f"gate skipped: {cpu_count} CPU(s) cannot overlap sweeps "

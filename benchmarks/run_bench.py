@@ -33,7 +33,13 @@ if __package__ is None and __name__ == "__main__":  # script invocation
 from repro.crypto.fast import fast_enabled
 from repro.crypto.fast.aes_vector import HAVE_NUMPY
 from repro.crypto.fast.exec import default_backend
-from repro.experiments.kernels import bench_backend, build_kernels, measure
+from repro.experiments.kernels import (
+    BATCH_PACKETS,
+    PIPELINE_STREAM_PACKETS,
+    bench_backend,
+    build_kernels,
+    measure,
+)
 from repro.resilience import stats as resilience_stats
 
 
@@ -90,6 +96,20 @@ def main(argv=None) -> Path:
             if base:
                 speedups[f"{pooled[1]}_{pooled[2]}_over_inline"] = round(
                     results[name]["ops_per_s"] / base, 2
+                )
+        # Pipelined dataplane kernels vs their synchronous backend twin.
+        # Ops aren't packet-comparable (a pipelined op streams
+        # PIPELINE_STREAM_PACKETS, the sync twin BATCH_PACKETS), so the
+        # ratio is packets/s over packets/s.
+        piped = re.fullmatch(
+            r"(.+_batch\d+)_pipelined_(thread|process)_fast", name
+        )
+        if piped and f"{piped[1]}_{piped[2]}_fast" in results:
+            base = results[f"{piped[1]}_{piped[2]}_fast"]["ops_per_s"]
+            if base:
+                pipelined_pps = results[name]["ops_per_s"] * PIPELINE_STREAM_PACKETS
+                speedups[f"{piped[1]}_pipelined_{piped[2]}_over_sync"] = round(
+                    pipelined_pps / (base * BATCH_PACKETS), 2
                 )
     for pair, ratio in sorted(speedups.items()):
         print(f"speedup {pair:34s} {ratio:8.1f}x")

@@ -43,6 +43,13 @@ class WorkloadReport:
     #: Core-path submissions that hit NoResourceError and retried
     #: (radio-side queueing; always 0 for fully batched workloads).
     backpressure_retries: int = 0
+    #: Which dataplane ran the workload ("cores"/"batched"/"pipelined";
+    #: empty for reports built outside run_workload).
+    dataplane: str = ""
+    #: Peak number of concurrently in-flight (submitted, uncollected)
+    #: dispatches across all channels — the pipelined dataplane's
+    #: overlap; 0 on the synchronous dataplanes.
+    pipeline_in_flight_peak: int = 0
     #: ENCRYPT/DECRYPT requests the task scheduler ran on cores (0 when
     #: every packet flowed through the batch engine).
     core_submits: int = 0

@@ -166,16 +166,15 @@ def _check_poisoned(packets) -> None:
             raise InjectedFault(f"injected batch error (nonce {nonce.hex()})")
 
 
-def _run_sharded(backend, mode: str, key: bytes, seal_packets, open_packets,
-                 tag_length: int):
-    """Shard both direction lists into one backend pass; merge in order.
+def _sharded_calls(backend, mode: str, key: bytes, seals, opens,
+                   tag_length: int):
+    """Build per-span shard calls over *normalized* packet lists.
 
-    Returns ``(sealed, opened)`` — each positionally identical to the
-    inline ``*_many`` result for its list.  Returns None when the work
-    collapses to a single call (caller falls through to inline): two
-    single-span direction halves still ship as two calls, so a small
-    mixed dispatch's seal and open sweeps overlap on the workers even
-    when neither half is wide enough to shard by itself.
+    Returns ``(calls, n_seal_spans)``, or None when the work collapses
+    to a single call (caller falls through to a whole-dispatch run):
+    two single-span direction halves still ship as two calls, so a
+    small mixed dispatch's seal and open sweeps overlap on the workers
+    even when neither half is wide enough to shard by itself.
 
     When a fault plan is active each shard call carries a
     :class:`FaultPoint` keyed by the span's first nonce: the executing
@@ -183,13 +182,10 @@ def _run_sharded(backend, mode: str, key: bytes, seal_packets, open_packets,
     crash/hang/slow faults locally with the plan installed
     thread-locally (so nonce-poison checks cross process boundaries).
     """
-    seal_spans = backend.shard_spans(len(seal_packets))
-    open_spans = backend.shard_spans(len(open_packets))
+    seal_spans = backend.shard_spans(len(seals))
+    open_spans = backend.shard_spans(len(opens))
     if len(seal_spans) + len(open_spans) <= 1:
         return None
-    key = bytes(key)
-    seals = [_norm_seal_packet(p) for p in seal_packets]
-    opens = [_norm_open_packet(p) for p in open_packets]
     plan = _faults.active_plan()
 
     def _call(fn, args, span_nonce):
@@ -205,14 +201,36 @@ def _run_sharded(backend, mode: str, key: bytes, seal_packets, open_packets,
         _call(_open_shard, (mode, key, opens[start:stop]), opens[start][0])
         for start, stop in open_spans
     ]
-    shards = backend.run(calls)
+    return calls, len(seal_spans)
+
+
+def _merge_shards(shards, n_seal_spans):
+    """Concatenate span results back into ``(sealed, opened)`` order."""
     sealed: List[Tuple[bytes, bytes]] = []
-    for shard in shards[: len(seal_spans)]:
+    for shard in shards[:n_seal_spans]:
         sealed.extend(shard)
     opened: List[Optional[bytes]] = []
-    for shard in shards[len(seal_spans) :]:
+    for shard in shards[n_seal_spans:]:
         opened.extend(shard)
     return sealed, opened
+
+
+def _run_sharded(backend, mode: str, key: bytes, seal_packets, open_packets,
+                 tag_length: int):
+    """Shard both direction lists into one backend pass; merge in order.
+
+    Returns ``(sealed, opened)`` — each positionally identical to the
+    inline ``*_many`` result for its list — or None when the work
+    collapses to a single call (see :func:`_sharded_calls`).
+    """
+    key = bytes(key)
+    seals = [_norm_seal_packet(p) for p in seal_packets]
+    opens = [_norm_open_packet(p) for p in open_packets]
+    built = _sharded_calls(backend, mode, key, seals, opens, tag_length)
+    if built is None:
+        return None
+    calls, n_seal_spans = built
+    return _merge_shards(backend.run(calls), n_seal_spans)
 
 
 def _quarantine_split(packets: List, runner) -> List:
@@ -296,6 +314,131 @@ def seal_open_many(
                 lambda span: _OPEN_MANY[mode](key, span, backend=INLINE),
             ),
         )
+
+
+def _seal_open_whole(mode, key, seals, opens, tag_length):
+    """Both directions of one dispatch as a single worker call.
+
+    The un-sharded form :func:`seal_open_submit` uses when the span
+    count collapses to one: thanks to the backends' serial guard a
+    single call always executes in the submitting thread, where the
+    caller's fault plan is already installed — the same context the
+    synchronous fall-through runs in.
+    """
+    return (
+        _SEAL_MANY[mode](key, seals, tag_length, backend=INLINE),
+        _OPEN_MANY[mode](key, opens, backend=INLINE),
+    )
+
+
+class SealOpenHandle:
+    """One in-flight :func:`seal_open_many` dispatch (futures form).
+
+    Returned by :func:`seal_open_submit`; ``done()``/``poll()`` are
+    non-blocking, ``result()`` waits and yields the same
+    ``(sealed, opened)`` pair — byte-identical to the blocking call,
+    memoized, with the same ``isolate=True`` quarantine semantics
+    applied at collection time.
+    """
+
+    __slots__ = (
+        "_handle", "_n_seal_spans", "_mode", "_key",
+        "_seals", "_opens", "_tag_length", "_isolate", "_result",
+    )
+
+    def __init__(self, handle, n_seal_spans, mode, key, seals, opens,
+                 tag_length, isolate):
+        self._handle = handle
+        #: None = the handle wraps one whole-dispatch call whose single
+        #: result already is the (sealed, opened) pair; an int = span
+        #: counts for positional merging.
+        self._n_seal_spans = n_seal_spans
+        self._mode = mode
+        self._key = key
+        self._seals = seals
+        self._opens = opens
+        self._tag_length = tag_length
+        self._isolate = isolate
+        self._result = None
+
+    def done(self) -> bool:
+        """Non-blocking: would :meth:`result` still wait on workers?"""
+        return self._handle.done()
+
+    def poll(self) -> bool:
+        """Alias of :meth:`done`."""
+        return self.done()
+
+    def result(self):
+        """The ``(sealed, opened)`` pair, in submission order (memoized)."""
+        if self._result is None:
+            self._result = self._resolve()
+        return self._result
+
+    def _resolve(self):
+        try:
+            shards = self._handle.result()
+        except ReproError as exc:
+            if not self._isolate or isinstance(exc, BackendError):
+                raise
+            return (
+                _quarantine_split(
+                    self._seals,
+                    lambda span: _SEAL_MANY[self._mode](
+                        self._key, span, self._tag_length, backend=INLINE
+                    ),
+                ),
+                _quarantine_split(
+                    self._opens,
+                    lambda span: _OPEN_MANY[self._mode](
+                        self._key, span, backend=INLINE
+                    ),
+                ),
+            )
+        if self._n_seal_spans is None:
+            return shards[0]
+        return _merge_shards(shards, self._n_seal_spans)
+
+
+def seal_open_submit(
+    mode: str,
+    key: bytes,
+    seal_packets: Sequence[Sequence],
+    open_packets: Sequence[Sequence],
+    tag_length: int = 16,
+    backend: BackendSpec = None,
+    isolate: bool = False,
+) -> SealOpenHandle:
+    """Launch a mixed dispatch without waiting; a :class:`SealOpenHandle`.
+
+    The futures form of :func:`seal_open_many` — same arguments, same
+    ``(sealed, opened)`` result (byte-identical, including the
+    ``isolate=True`` quarantine behaviour), but the backend pass is
+    *submitted* and the caller gets the handle back immediately, so a
+    simulator can keep coalescing the next batch while thread/process
+    workers chew on this one.  Packets are normalized to plain bytes
+    eagerly (submission-time state, immune to later caller mutation);
+    recovery — retries, watchdog, degradation, quarantine bisection —
+    all runs inside ``result()``.
+    """
+    if mode not in _SEAL_MANY:
+        raise ValueError(f"unknown batch mode {mode!r}; valid: gcm, ccm")
+    backend = resolve_backend(backend)
+    key = bytes(key)
+    seals = [_norm_seal_packet(p) for p in seal_packets]
+    opens = [_norm_open_packet(p) for p in open_packets]
+    built = None
+    if backend.workers > 1:
+        built = _sharded_calls(backend, mode, key, seals, opens, tag_length)
+    if built is not None:
+        calls, n_seal_spans = built
+    else:
+        calls = [(_seal_open_whole, (mode, key, seals, opens, tag_length))]
+        n_seal_spans = None
+    return SealOpenHandle(
+        backend.submit(calls), n_seal_spans,
+        mode, key, seals, opens, tag_length, isolate,
+    )
 
 
 # -- lane-parallel CBC-MAC -------------------------------------------------

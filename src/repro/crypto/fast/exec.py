@@ -35,6 +35,21 @@ never what they compute or the order results come back in — the
 equivalence suite pins inline == thread == process byte-for-byte
 across the crypto, MCCP and radio layers.
 
+Asynchronous half: :meth:`ExecutionBackend.submit` is the futures
+form of :meth:`ExecutionBackend.run` — it hands the calls to the pool
+*without waiting* and returns a :class:`BatchHandle` whose
+``poll()``/``done()`` probe completion and whose ``result()`` drains
+the span (applying the same recovery machinery, so
+``backend.run(calls)`` and ``backend.submit(calls).result()`` are
+byte-identical — ``run`` is literally implemented that way).  This is
+what lets the simulated dataplane overlap sim-event processing with
+crypto execution (the paper's pipelining lifted to the system level,
+:mod:`repro.radio.comm_controller`): the caller submits a batch, keeps
+coalescing the next one, and collects the handle when the completion
+is due.  Backends with no overlap to offer (inline, a degraded or
+single-worker pool) return an *unlaunched* handle that simply computes
+at ``result()`` time — same bytes, no concurrency.
+
 Self-healing: :meth:`ExecutionBackend.run` owns the recovery loop.
 Infrastructure failures (:class:`repro.errors.BackendError`: a worker
 crash, a watchdog timeout, an injected fault) are retried per span
@@ -137,6 +152,96 @@ def _serial_outcomes(calls: Sequence[Tuple[Callable, tuple]]) -> List[object]:
     return outcomes
 
 
+class BatchHandle:
+    """One in-flight backend span: the futures half of the API.
+
+    Returned by :meth:`ExecutionBackend.submit`.  ``done()`` (and its
+    alias ``poll()``) report, without blocking, whether ``result()``
+    would still have to wait on remote workers; ``result()`` waits for
+    the span, runs the same retry/watchdog/degradation machinery the
+    blocking :meth:`ExecutionBackend.run` applies, and returns the
+    per-call results in submission order — byte-identical to what
+    ``run()`` on the same calls would have returned.
+
+    The outcome is memoized: every ``result()`` call after the first
+    returns the same list (or re-raises the same error), mirroring
+    ``concurrent.futures`` semantics.  Handles are not thread-safe;
+    one owner collects them.
+    """
+
+    __slots__ = ("_backend", "_calls", "_policy", "_token", "_results", "_error")
+
+    def __init__(
+        self,
+        backend: Optional["ExecutionBackend"],
+        calls: List[Call],
+        policy: Optional[ResiliencePolicy],
+        token: Optional[object],
+    ):
+        self._backend = backend
+        self._calls = calls
+        self._policy = policy
+        #: Backend-private record of the already-launched first attempt
+        #: (e.g. a futures list).  None = nothing is in flight; the
+        #: whole span runs synchronously inside :meth:`result`.
+        self._token = token
+        self._results: Optional[List[object]] = None
+        self._error: Optional[BaseException] = None
+
+    @classmethod
+    def completed(cls, results: List[object]) -> "BatchHandle":
+        """A handle that is already done (empty spans, precomputed work)."""
+        handle = cls(None, [], None, None)
+        handle._results = results
+        return handle
+
+    def done(self) -> bool:
+        """True when :meth:`result` will not block on in-flight work.
+
+        Non-blocking.  An unlaunched handle (no async capability — see
+        :meth:`ExecutionBackend.submit`) reports True: its ``result()``
+        computes in the calling thread, it never *waits*.  Note that a
+        True here does not promise the recovery machinery will not run
+        — a collected failure may still retry inside ``result()``.
+        """
+        if self._results is not None or self._error is not None:
+            return True
+        if self._token is None:
+            return True
+        return self._backend._token_done(self._token)
+
+    def poll(self) -> bool:
+        """Alias of :meth:`done` (the submit()/poll() naming)."""
+        return self.done()
+
+    def result(self) -> List[object]:
+        """Wait for the span; results in submission order (memoized).
+
+        First call drains the in-flight attempt (watchdogged per the
+        policy) and heals failures exactly as
+        :meth:`ExecutionBackend.run` would: per-span retries with
+        backoff, then chain degradation.  Call exceptions and
+        exhausted infrastructure failures raise — and raise again on
+        every later call.
+        """
+        if self._error is not None:
+            raise self._error
+        if self._results is None:
+            token, self._token = self._token, None
+            try:
+                self._results = self._backend._collect(
+                    self._calls, self._policy, token
+                )
+            except BaseException as exc:
+                self._error = exc
+                raise
+        return self._results
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.done() else "in-flight"
+        return f"<BatchHandle {len(self._calls)} call(s), {state}>"
+
+
 class ExecutionBackend(ABC):
     """Where the batch engine's independent sweeps execute."""
 
@@ -196,22 +301,92 @@ class ExecutionBackend(ABC):
     ) -> List[object]:
         """Execute every call; results in submission order.
 
-        Exceptions raised by a call propagate to the caller (after all
-        submitted work has been collected or abandoned by the pool) —
-        a backend never swallows a crypto error.  Infrastructure
-        failures (:class:`BackendError`) are healed instead: failed
-        spans retry with exponential backoff, a watchdogged span that
-        overruns is abandoned and retried, and when retries are
-        exhausted the span completes on the fallback chain
-        (``process`` → ``thread`` → ``inline``) with the reason
+        Implemented as submit-then-drain — ``self.submit(calls,
+        policy).result()`` — so the blocking and futures halves of the
+        API can never diverge.  Exceptions raised by a call propagate
+        to the caller (after all submitted work has been collected or
+        abandoned by the pool) — a backend never swallows a crypto
+        error.  Infrastructure failures (:class:`BackendError`) are
+        healed instead: failed spans retry with exponential backoff, a
+        watchdogged span that overruns is abandoned and retried, and
+        when retries are exhausted the span completes on the fallback
+        chain (``process`` → ``thread`` → ``inline``) with the reason
         recorded — degradation is sticky for the instance.
+        """
+        return self.submit(calls, policy).result()
+
+    def submit(
+        self,
+        calls: Sequence[Call],
+        policy: Optional[ResiliencePolicy] = None,
+    ) -> BatchHandle:
+        """Launch the calls without waiting; a :class:`BatchHandle`.
+
+        The futures half of :meth:`run`: pool backends hand the span
+        to their workers immediately and return, so the caller can
+        keep doing other work (coalescing the next batch, advancing
+        sim time) while the crypto executes — ``handle.result()``
+        later collects it, byte-identical to what ``run()`` would have
+        returned.  Backends with no overlap to offer — inline, a
+        single-worker or degraded pool, a one-call span — return an
+        *unlaunched* handle whose ``result()`` simply computes on the
+        spot: same results, no concurrency.
+
+        Only the first attempt is launched eagerly; all recovery
+        (retries, watchdog, chain degradation) runs inside
+        ``result()``, where failures surface exactly as :meth:`run`
+        surfaces them.  The watchdog budget covers the *collection* of
+        the span, mirroring the blocking path's accounting.
         """
         calls = list(calls)
         if not calls:
-            return []
+            return BatchHandle.completed([])
         if policy is None:
             policy = self.resilience or DEFAULT_POLICY
-        return self._run_recovering(calls, policy)
+        if self._degraded_to is not None:
+            return self._degraded_to.submit(calls, policy)
+        return BatchHandle(self, calls, policy, self._launch(calls))
+
+    def _launch(self, calls: List[Call]) -> Optional[object]:
+        """Start attempt 0 asynchronously; a token, or None.
+
+        None means this backend has nothing to launch (no pool, one
+        worker, a serial-sized span): the handle stays unlaunched and
+        ``result()`` runs the ordinary blocking path.  A non-None
+        token is backend-private state for :meth:`_token_done` /
+        :meth:`_token_collect` (for the pools: the futures list).
+        """
+        return None
+
+    def _token_done(self, token: object) -> bool:
+        """Non-blocking: has every launched call finished (or died)?"""
+        return all(future.done() for future in token)
+
+    def _token_collect(
+        self, token: object, timeout: Optional[float]
+    ) -> List[object]:
+        """Drain a launched attempt into per-call outcomes (in order).
+
+        Raises :class:`BackendError` for pool-level failures exactly
+        as :meth:`_execute` would — the retry loop treats a collected
+        first attempt and a blocking attempt identically.
+        """
+        return _pooled_outcomes(token, timeout)
+
+    def _collect(
+        self,
+        calls: List[Call],
+        policy: ResiliencePolicy,
+        token: Optional[object],
+    ) -> List[object]:
+        """Resolve a handle: drain the launched attempt, heal, merge."""
+        if token is None:
+            return self._run_recovering(calls, policy)
+        return self._run_recovering(
+            calls,
+            policy,
+            first=lambda: self._token_collect(token, policy.watchdog_seconds),
+        )
 
     def _prepare(
         self, call: Call, attempt: int
@@ -223,17 +398,30 @@ class ExecutionBackend(ABC):
         return fn, (*args, point.directive(attempt, self.name))
 
     def _run_recovering(
-        self, calls: List[Call], policy: ResiliencePolicy
+        self,
+        calls: List[Call],
+        policy: ResiliencePolicy,
+        first: Optional[Callable[[], List[object]]] = None,
     ) -> List[object]:
-        if self._degraded_to is not None:
+        # *first*, when given, supplies attempt 0's outcomes from work
+        # already launched on THIS backend (a collected submit token) —
+        # so the degradation shortcut must not reroute it; anything
+        # after attempt 0 runs through the ordinary machinery.
+        if self._degraded_to is not None and first is None:
             return self._degraded_to._run_recovering(calls, policy)
         results: List[object] = [None] * len(calls)
         pending = list(range(len(calls)))
         attempt = 0
         while True:
-            prepared = [self._prepare(calls[i], attempt) for i in pending]
             try:
-                outcomes = self._execute(prepared, policy.watchdog_seconds)
+                if first is not None:
+                    launched, first = first, None
+                    outcomes = launched()
+                else:
+                    prepared = [
+                        self._prepare(calls[i], attempt) for i in pending
+                    ]
+                    outcomes = self._execute(prepared, policy.watchdog_seconds)
             except BackendError as exc:
                 if attempt < policy.max_retries:
                     attempt = self._note_retry(attempt, policy)
@@ -431,6 +619,16 @@ class ThreadPoolBackend(ExecutionBackend):
         futures = [pool.submit(fn, *args) for fn, args in calls]
         return _pooled_outcomes(futures, timeout)
 
+    def _launch(self, calls: List[Call]) -> Optional[object]:
+        if len(calls) <= 1 or self.workers <= 1:
+            return None
+        pool = self._ensure_pool()
+        futures = []
+        for call in calls:
+            fn, args = self._prepare(call, 0)
+            futures.append(pool.submit(fn, *args))
+        return futures
+
     def close(self) -> None:
         if self._pool is not None:
             self._pool.shutdown(wait=True)
@@ -530,6 +728,43 @@ class ProcessPoolBackend(ExecutionBackend):
             self._abandon_pool()
             raise
 
+    def _launch(self, calls: List[Call]) -> Optional[object]:
+        if len(calls) <= 1 or self.workers <= 1:
+            return None
+        pool = self._ensure_pool()
+        if pool is None:
+            return None
+        from concurrent.futures.process import BrokenProcessPool
+
+        try:
+            futures = []
+            for call in calls:
+                fn, args = self._prepare(call, 0)
+                futures.append(pool.submit(fn, *args))
+            return futures
+        except BrokenProcessPool:
+            # The pool died before the span even launched; drop it and
+            # hand back an unlaunched handle — result() recreates a
+            # fresh pool through the ordinary blocking path.
+            self._abandon_pool()
+            return None
+
+    def _token_collect(
+        self, token: object, timeout: Optional[float]
+    ) -> List[object]:
+        from concurrent.futures.process import BrokenProcessPool
+
+        try:
+            return _pooled_outcomes(token, timeout)
+        except BrokenProcessPool as exc:
+            # Same translation as _execute: pool-level death of a
+            # launched span is retryable, on a fresh pool.
+            self._abandon_pool()
+            raise WorkerCrashError(f"process pool broke: {exc}") from exc
+        except BatchTimeoutError:
+            self._abandon_pool()
+            raise
+
     def close(self) -> None:
         if self._pool is not None:
             self._pool.shutdown(wait=True)
@@ -609,11 +844,29 @@ _SHARED_BACKENDS: dict = {}
 def resolve_backend(backend: BackendSpec = None) -> ExecutionBackend:
     """Resolve a ``backend=`` parameter: instance, spec string or None.
 
-    Instances pass through untouched (the caller owns their lifetime);
-    spec strings resolve to process-shared instances so repeated
-    resolution of a stored spec reuses one warm pool instead of
-    leaking a new executor per dispatch.
+    **This is the single normalization point for** :data:`BackendSpec`
+    **values.**  Every layer that accepts ``backend=`` (the ``*_many``
+    APIs, :class:`~repro.mccp.mccp.Mccp`,
+    :class:`~repro.radio.comm_controller.CommController`,
+    ``SdrPlatform.run_workload``) funnels through here rather than
+    re-resolving defensively.  The contract:
+
+    - an :class:`ExecutionBackend` **instance** is a no-op
+      pass-through — the very same object comes back, its lifetime
+      stays with whoever constructed it, and resolving twice is
+      therefore always safe and free;
+    - a **spec string** (``"thread:4"``) resolves to a process-shared
+      instance, memoized per normalized spec, so layers that *store* a
+      spec and resolve per dispatch reuse one warm pool instead of
+      leaking an executor each time;
+    - ``None`` means the process-wide :func:`default_backend` (seeded
+      from ``REPRO_BACKEND``).
+
+    Idempotent by construction: ``resolve_backend(resolve_backend(x))
+    is resolve_backend(x)`` for every accepted ``x``.
     """
+    if isinstance(backend, ExecutionBackend):
+        return backend
     if backend is None:
         return default_backend()
     if isinstance(backend, str):
@@ -649,6 +902,7 @@ __all__ = [
     "DEFAULT_MIN_SHARD",
     "DEFAULT_POLICY",
     "ResiliencePolicy",
+    "BatchHandle",
     "ExecutionBackend",
     "InlineBackend",
     "ThreadPoolBackend",

@@ -62,6 +62,12 @@ BATCH_PACKETS = 32
 GCM_BATCH = tuple(((i + 1).to_bytes(12, "big"), PACKET) for i in range(BATCH_PACKETS))
 CCM_BATCH = tuple(((i + 1).to_bytes(13, "big"), PACKET) for i in range(BATCH_PACKETS))
 
+#: Packets per *pipelined* radio-kernel iteration: four coalesced
+#: batches per op, so the async dataplane actually has a next batch to
+#: coalesce while workers run the current one (a single-batch stream
+#: submits and immediately barriers — no overlap to measure).
+PIPELINE_STREAM_PACKETS = 4 * BATCH_PACKETS
+
 #: Events per process in the sim-kernel benchmark (4 processes).
 _KERNEL_EVENTS = 2000
 
@@ -79,13 +85,15 @@ def bench_backend(spec: str):
     return resolve_backend(spec)
 
 
-def _radio_ccm_setup(width: int, npackets: int, backend: str = None):
+def _radio_ccm_setup(
+    width: int, npackets: int, backend: str = None, pipelined: bool = False
+):
     """One CCM radio-dataplane rig: (sim, comm, channel, packets).
 
     Shared by the bench kernels and their correctness twin so the perf
     number and the gate always measure the same pipeline
     (coalesce width *width*, 8-byte tags, 2 KB packets, dispatches on
-    *backend* when given).
+    *backend* when given, async submit/reap dataplane when *pipelined*).
     """
     from repro.core.params import Algorithm
     from repro.mccp.channel import FlushPolicy
@@ -101,6 +109,9 @@ def _radio_ccm_setup(width: int, npackets: int, backend: str = None):
     comm = CommController(
         sim, mccp, backend=bench_backend(backend) if backend else None
     )
+    if pipelined:
+        comm.pipelined = True
+        comm.pipeline_depth = 2
     packets = [
         Packet(channel.channel_id, b"", PACKET, sequence=i)
         for i in range(npackets)
@@ -122,7 +133,9 @@ def _radio_ccm_round(sim, comm, channel, packets) -> None:
     sim.run_until_event(finished)
 
 
-def _radio_ccm_dataplane(width: int, npackets: int, backend: str = None):
+def _radio_ccm_dataplane(
+    width: int, npackets: int, backend: str = None, pipelined: bool = False
+):
     """Zero-arg kernel: *npackets* 2 KB CCM packets through the batched
     radio dataplane at coalesce width *width*.
 
@@ -132,9 +145,14 @@ def _radio_ccm_dataplane(width: int, npackets: int, backend: str = None):
     time), so ops/s x npackets is end-to-end radio packets/s — the
     number the ``radio_ccm_2kb_batch32_per_packet`` speedup compares
     against the width-1 (sequential) path.  *backend* routes the
-    dispatches through a worker pool (the ``_thread`` kernel variant).
+    dispatches through a worker pool (the ``_thread`` kernel variant);
+    *pipelined* switches the CommController to the async submit/reap
+    dataplane (the ``_pipelined_<backend>`` variants stream
+    ``PIPELINE_STREAM_PACKETS`` so batches overlap).
     """
-    sim, comm, channel, packets = _radio_ccm_setup(width, npackets, backend)
+    sim, comm, channel, packets = _radio_ccm_setup(
+        width, npackets, backend, pipelined
+    )
 
     def run() -> int:
         _radio_ccm_round(sim, comm, channel, packets)
@@ -144,6 +162,52 @@ def _radio_ccm_dataplane(width: int, npackets: int, backend: str = None):
         return npackets
 
     return run
+
+
+def measure_pipelined(
+    width: int, window: float, backend: str = "thread"
+) -> dict:
+    """Pipelined vs synchronous radio dataplane on one backend.
+
+    Both rigs stream ``PIPELINE_STREAM_PACKETS`` 2 KB CCM packets per
+    op at coalesce width *width* on *backend*; the only difference is
+    ``CommController.pipelined``.  Returns packets/s ``rates``
+    ("synchronous" / "pipelined"), the byte/order/stamp equality
+    ``identical`` bool (payload, tag, per-channel fan-out order,
+    completion cycles and final sim time must all match — the async
+    dataplane's determinism contract), plus ``cpu_count``.  Shared by
+    ``benchmarks/gate_backends.py``'s warn-level pipelined check so the
+    gate measures exactly what the bench kernels measure.
+    """
+    import os
+
+    def _transcript(pipelined: bool):
+        sim, comm, channel, packets = _radio_ccm_setup(
+            width, PIPELINE_STREAM_PACKETS, backend, pipelined
+        )
+        _radio_ccm_round(sim, comm, channel, packets)
+        return (
+            [
+                (t.job.sequence, t.payload, t.tag, t.job.completed_cycle)
+                for t in comm.completed.values()
+            ],
+            list(comm.latencies),
+            sim.now,
+        )
+
+    identical = _transcript(False) == _transcript(True)
+    rates = {}
+    for name, pipelined in (("synchronous", False), ("pipelined", True)):
+        fn = _radio_ccm_dataplane(
+            width, PIPELINE_STREAM_PACKETS, backend, pipelined
+        )
+        ops_per_s, _ = measure(fn, window)
+        rates[name] = ops_per_s * PIPELINE_STREAM_PACKETS
+    return {
+        "identical": identical,
+        "rates": rates,
+        "cpu_count": os.cpu_count() or 1,
+    }
 
 
 def _kernel_events() -> int:
@@ -213,6 +277,17 @@ def build_kernels() -> Dict[str, Callable[[], object]]:
         "radio_ccm_2kb_batch32_thread_fast": _radio_ccm_dataplane(
             32, BATCH_PACKETS, backend="thread"
         ),
+        # Pipelined twins: same dataplane in async submit/reap mode,
+        # streaming PIPELINE_STREAM_PACKETS (4 batches) per op so the
+        # simulator coalesces batch N+1 while workers run batch N.
+        # run_bench derives `<base>_pipelined_<backend>_over_sync` from
+        # the packets/s ratio against the synchronous backend twin.
+        "radio_ccm_2kb_batch32_pipelined_thread_fast": _radio_ccm_dataplane(
+            32, PIPELINE_STREAM_PACKETS, backend="thread", pipelined=True
+        ),
+        "radio_ccm_2kb_batch32_pipelined_process_fast": _radio_ccm_dataplane(
+            32, PIPELINE_STREAM_PACKETS, backend="process", pipelined=True
+        ),
         "sim_kernel_8k_events": _kernel_events,
     }
 
@@ -242,6 +317,8 @@ KERNEL_NAMES = (
     "radio_ccm_2kb_fast",
     "radio_ccm_2kb_batch32_fast",
     "radio_ccm_2kb_batch32_thread_fast",
+    "radio_ccm_2kb_batch32_pipelined_thread_fast",
+    "radio_ccm_2kb_batch32_pipelined_process_fast",
     "sim_kernel_8k_events",
 )
 
@@ -305,17 +382,29 @@ def correctness_check(name: str) -> bool:
         "radio_ccm_2kb_fast",
         "radio_ccm_2kb_batch32_fast",
         "radio_ccm_2kb_batch32_thread_fast",
+        "radio_ccm_2kb_batch32_pipelined_thread_fast",
+        "radio_ccm_2kb_batch32_pipelined_process_fast",
     ):
         # The full dataplane (jobs, flush policy, batch engine) must
         # reproduce the sequential one-call fast path byte-for-byte.
+        # The pipelined variants run their own rig (async submit/reap,
+        # 4-batch stream) and must additionally fan out in sequence
+        # order per channel.
         width = 1 if name == "radio_ccm_2kb_fast" else 32
-        backend = "thread" if name.endswith("_thread_fast") else None
+        pipelined = "_pipelined_" in name
+        backend = None
+        if name.endswith("_thread_fast"):
+            backend = "thread"
+        elif name.endswith("_process_fast"):
+            backend = "process"
+        npackets = PIPELINE_STREAM_PACKETS if pipelined else BATCH_PACKETS
         sim, comm, channel, packets = _radio_ccm_setup(
-            width, BATCH_PACKETS, backend
+            width, npackets, backend, pipelined
         )
         _radio_ccm_round(sim, comm, channel, packets)
         transfers = list(comm.completed.values())
-        return len(transfers) == BATCH_PACKETS and all(
+        in_order = [t.job.sequence for t in transfers] == list(range(npackets))
+        return in_order and len(transfers) == npackets and all(
             t.ok
             and (t.payload, t.tag)
             == ccm_seal(KEY, t.job.nonce, t.job.data, b"", 8)

@@ -43,6 +43,26 @@ DEFAULT_FLUSH_DEADLINE = 8192
 class FlushPolicy:
     """When a channel's queued jobs are dispatched.
 
+    **The canonical flush lifecycle** (every flush entry point —
+    ``CommController.flush_now``, ``Mccp.flush_channel``,
+    ``Mccp.flush_batches`` — is one view of this sequence):
+
+    1. **Coalesce** — submitted jobs queue in :attr:`Channel.pending`,
+       in submission order, until a trigger fires.
+    2. **Trigger** — either the *size threshold* (``coalesce_limit``
+       queued jobs), the *idle deadline* (``flush_deadline`` cycles
+       after the oldest queued job), or an *explicit force*
+       (``flush_now`` / the zero-sim-time ``flush_channel`` /
+       ``flush_batches`` drains).
+    3. **Dispatch** — jobs pop :attr:`Channel.coalesce_limit` at a
+       time (never more per batch) and run through the batch engine;
+       while a popped batch is computing it is accounted in
+       :attr:`Channel.in_flight`.
+    4. **Fan-out** — each job's completion fires in submission order
+       within its channel, whatever executed where (and, under the
+       pipelined dataplane, in whatever wall-clock order batches
+       actually finished).
+
     ``coalesce_limit`` is the size threshold *and* the per-dispatch
     width cap: reaching it triggers an immediate flush, and no dispatch
     ever exceeds it.  ``flush_deadline`` bounds how long the *oldest*
@@ -51,10 +71,18 @@ class FlushPolicy:
     flushing — callers must drain explicitly at end of stream) and
     ``0`` dispatches on the enqueueing cycle (still coalescing jobs
     that arrive within the same cycle).
+
+    ``mode`` names the policy flavour.  ``"fixed"`` — the only mode
+    implemented today — applies the two static knobs above verbatim.
+    ``"auto"`` is reserved for the ROADMAP's adaptive controller
+    (open item 4: knobs chosen online from queue peaks, batch widths
+    and flush causes) and is rejected until it ships, so the name
+    cannot silently mean "fixed" in the meantime.
     """
 
     coalesce_limit: int = DEFAULT_COALESCE_LIMIT
     flush_deadline: Optional[int] = DEFAULT_FLUSH_DEADLINE
+    mode: str = "fixed"
 
     def __post_init__(self) -> None:
         if self.coalesce_limit < 1:
@@ -62,6 +90,17 @@ class FlushPolicy:
         if self.flush_deadline is not None and self.flush_deadline < 0:
             raise ValueError(
                 f"flush_deadline must be >= 0 or None, got {self.flush_deadline}"
+            )
+        if self.mode == "auto":
+            raise ValueError(
+                "FlushPolicy(mode='auto') is reserved for the adaptive "
+                "flush controller (ROADMAP open item 4) and is not "
+                "implemented yet; use mode='fixed'"
+            )
+        if self.mode != "fixed":
+            raise ValueError(
+                f"unknown FlushPolicy mode {self.mode!r}; valid: 'fixed' "
+                "('auto' is reserved for the adaptive controller)"
             )
 
 

@@ -100,6 +100,65 @@ class BatchResult:
 KEY_FETCH_ATTEMPTS = 3
 
 
+class DispatchHandle:
+    """One in-flight :meth:`Mccp.dispatch_jobs` batch (futures form).
+
+    Returned by :meth:`Mccp.dispatch_jobs_async`.  ``done()``/``poll()``
+    probe the underlying backend span without blocking; ``result()``
+    waits, stamps every job's :attr:`PacketJob.result`, updates the
+    channel counters, and returns the :class:`BatchResult` list —
+    byte-identical to what the blocking :meth:`Mccp.dispatch_jobs`
+    returns for the same batch, and memoized.  A batch that
+    dead-lettered at submit time (unreadable key) comes back as an
+    already-completed handle.
+    """
+
+    __slots__ = (
+        "_mccp", "_channel", "_batch",
+        "_seal_indices", "_open_indices", "_handle", "_results",
+    )
+
+    def __init__(self, mccp, channel, batch, seal_indices, open_indices,
+                 handle):
+        self._mccp = mccp
+        self._channel = channel
+        self._batch = batch
+        self._seal_indices = seal_indices
+        self._open_indices = open_indices
+        self._handle = handle
+        self._results: Optional[List[BatchResult]] = None
+
+    @classmethod
+    def completed(cls, results: List[BatchResult]) -> "DispatchHandle":
+        """A handle whose batch already resolved at submit time."""
+        handle = cls(None, None, (), (), (), None)
+        handle._results = results
+        return handle
+
+    def done(self) -> bool:
+        """Non-blocking: would :meth:`result` still wait on workers?"""
+        if self._results is not None:
+            return True
+        return self._handle.done()
+
+    def poll(self) -> bool:
+        """Alias of :meth:`done`."""
+        return self.done()
+
+    def result(self) -> List[BatchResult]:
+        """Collect the batch: stamp jobs, update stats (memoized)."""
+        if self._results is None:
+            sealed, opened = self._handle.result()
+            self._results = self._mccp._finish_batch(
+                self._channel, self._batch,
+                self._seal_indices, self._open_indices, sealed, opened,
+            )
+            self._channel.stats["batches"] = (
+                self._channel.stats.get("batches", 0) + 1
+            )
+        return self._results
+
+
 class Mccp:
     """A complete Multi-Core Crypto-Processor instance."""
 
@@ -323,18 +382,40 @@ class Mccp:
         (default: the device's :attr:`backend`) decides where the
         seal/open sweeps execute; results are byte-identical and
         identically ordered whichever backend runs them.
+
+        Implemented as submit-then-drain over
+        :meth:`dispatch_jobs_async`, so the blocking and pipelined
+        dataplanes can never diverge.
+        """
+        return self.dispatch_jobs_async(channel_id, jobs, backend).result()
+
+    def dispatch_jobs_async(
+        self,
+        channel_id: int,
+        jobs: Sequence[PacketJob],
+        backend: BackendSpec = None,
+    ) -> DispatchHandle:
+        """Submit one batch without waiting; a :class:`DispatchHandle`.
+
+        The futures form of :meth:`dispatch_jobs`: the key fetch (with
+        its retry loop) and the backend submission happen here, then
+        the caller gets the handle back while thread/process workers
+        run the crypto — the pipelined dataplane keeps coalescing the
+        *next* batch meanwhile.  Job stamping, channel counters and the
+        quarantine/dead-letter routing all run inside
+        ``handle.result()``; an unreadable key dead-letters the whole
+        batch immediately and returns an already-completed handle.
         """
         channel = self.scheduler.get_channel(channel_id)
+        resolved = resolve_backend(
+            backend if backend is not None else self.backend
+        )
         key, key_error = self._fetch_key_resilient(channel, jobs)
         if key is None:
             results = self._dead_letter_batch(channel, jobs, key_error)
-        else:
-            results = self._dispatch_batch(
-                channel, key, jobs,
-                backend if backend is not None else self.backend,
-            )
-        channel.stats["batches"] = channel.stats.get("batches", 0) + 1
-        return results
+            channel.stats["batches"] = channel.stats.get("batches", 0) + 1
+            return DispatchHandle.completed(results)
+        return self._start_batch(channel, key, jobs, resolved)
 
     def _fetch_key_resilient(
         self, channel: Channel, jobs: Sequence[PacketJob]
@@ -389,12 +470,15 @@ class Mccp:
     ) -> List[BatchResult]:
         """Drain one channel's queue through the batch engine.
 
+        One entry point into the canonical flush lifecycle documented
+        on :class:`repro.mccp.channel.FlushPolicy` — specifically the
+        *explicit force* trigger, taken with zero simulated time.
         Packets dispatch in submission order, :attr:`Channel
         .coalesce_limit` per batch; results come back in the same
-        order.  This is the zero-sim-time entry point; the simulated
-        dataplane (:class:`repro.radio.comm_controller.CommController`)
-        drives :meth:`dispatch_jobs` itself so it can charge scheduler
-        and crossbar time per dispatch.
+        order.  The simulated dataplane
+        (:class:`repro.radio.comm_controller.CommController`) drives
+        :meth:`dispatch_jobs` itself so it can charge scheduler and
+        crossbar time per dispatch; its force-drain is ``flush_now``.
         """
         channel = self.scheduler.get_channel(channel_id)
         results: List[BatchResult] = []
@@ -408,6 +492,11 @@ class Mccp:
         self, backend: BackendSpec = None
     ) -> Dict[int, List[BatchResult]]:
         """Flush every channel with queued packets; id -> results.
+
+        The all-channels form of :meth:`flush_channel` — the same
+        *explicit force* trigger of the canonical flush lifecycle
+        documented on :class:`repro.mccp.channel.FlushPolicy`, applied
+        to every non-empty queue in channel-id order.
 
         Per-channel flushes are mutually independent (disjoint queues,
         stats and keys), so a shared-state backend with more than one
@@ -438,18 +527,20 @@ class Mccp:
             for channel_id in pending_ids
         }
 
-    def _dispatch_batch(
+    def _start_batch(
         self,
         channel: Channel,
         key: bytes,
         batch: Sequence[PacketJob],
         backend: BackendSpec = None,
-    ) -> List[BatchResult]:
-        """Run one coalesced batch; seals and opens each share a sweep.
+    ) -> DispatchHandle:
+        """Submit one coalesced batch; seals and opens share a sweep.
 
         The two direction lists go through :func:`repro.crypto.fast
-        .batch.seal_open_many` as one backend pass, so a mixed batch's
-        encrypt and decrypt sweeps overlap across workers.
+        .batch.seal_open_submit` as one backend pass, so a mixed
+        batch's encrypt and decrypt sweeps overlap across workers —
+        and the submission returns immediately, leaving the caller
+        free until :meth:`DispatchHandle.result`.
 
         Dispatches run with ``isolate=True``: a packet-level failure (a
         poisoned packet under fault injection) quarantines alone — the
@@ -479,7 +570,7 @@ class Mccp:
         open_indices = [
             i for i, p in enumerate(batch) if p.direction is Direction.DECRYPT
         ]
-        sealed, opened = fast_batch.seal_open_many(
+        handle = fast_batch.seal_open_submit(
             mode,
             key,
             [(batch[i].nonce, batch[i].data, batch[i].aad) for i in seal_indices],
@@ -491,6 +582,20 @@ class Mccp:
             backend=backend,
             isolate=True,
         )
+        return DispatchHandle(
+            self, channel, list(batch), seal_indices, open_indices, handle
+        )
+
+    def _finish_batch(
+        self,
+        channel: Channel,
+        batch: Sequence[PacketJob],
+        seal_indices: Sequence[int],
+        open_indices: Sequence[int],
+        sealed,
+        opened,
+    ) -> List[BatchResult]:
+        """Fan collected sweep results back onto the jobs, in order."""
         results: List[Optional[BatchResult]] = [None] * len(batch)
         for i, item in zip(seal_indices, sealed):
             if isinstance(item, QuarantinedPacketError):

@@ -19,6 +19,12 @@ pipeline built around :class:`repro.mccp.channel.PacketJob`:
   (:meth:`repro.mccp.mccp.Mccp.dispatch_jobs`), and fans completions
   back out to per-packet :class:`CompletedTransfer` records with
   correct per-packet latency accounting;
+- with :attr:`CommController.pipelined` set, each dispatch is instead
+  *submitted* (:meth:`repro.mccp.mccp.Mccp.dispatch_jobs_async`) and
+  the drain keeps coalescing the next batch while thread/process
+  workers run the current one — out-of-order wall-clock completion,
+  strictly in-order per-channel fan-out, identical bytes and cycle
+  stamps (the paper's pipelining lifted to the system level);
 - :meth:`process_packet` / :meth:`secure_packet_sync` are thin
   wrappers over the same job abstraction at batch width 1, running on
   the cycle-accurate simulated cores (``via_cores``) — the engine the
@@ -31,7 +37,8 @@ numbers depend on.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set
+from collections import deque
+from typing import Deque, Dict, List, Optional, Set
 
 from dataclasses import dataclass, field
 
@@ -75,6 +82,25 @@ class CompletedTransfer:
     extra: dict = field(default_factory=dict)
 
 
+class _InflightDispatch:
+    """One submitted-but-uncollected batch of the pipelined dataplane.
+
+    ``dispatched_cycle`` is the sim cycle the dispatch *would have
+    completed at* on the synchronous dataplane (the cycle after its
+    control + crossbar delays, when ``dispatch_jobs`` would have
+    returned): completions are stamped with it at reap time, so the
+    pipelined dataplane's latency accounting is identical to the
+    synchronous one — only wall-clock execution overlaps.
+    """
+
+    __slots__ = ("handle", "batch", "dispatched_cycle")
+
+    def __init__(self, handle, batch: List[PacketJob], dispatched_cycle: int):
+        self.handle = handle
+        self.batch = batch
+        self.dispatched_cycle = dispatched_cycle
+
+
 class CommController:
     """Drives the MCCP on behalf of the radio."""
 
@@ -110,6 +136,25 @@ class CommController:
         self._draining: Set[int] = set()
         self._drain_done: Dict[int, Event] = {}
         self._deadlines: Dict[int, object] = {}
+        # -- pipelined dataplane ---------------------------------------
+        #: When True, drains *submit* each dispatch through
+        #: :meth:`Mccp.dispatch_jobs_async` and keep going — the
+        #: simulator coalesces and flushes the next batch while
+        #: thread/process workers run the current one.  Completions fan
+        #: out strictly in per-channel submission order whatever
+        #: wall-clock order batches finish in, stamped with the cycles
+        #: the synchronous dataplane would have stamped.
+        self.pipelined = False
+        #: Dispatches one channel may keep in flight before its drain
+        #: blocks to reap the oldest (bounds handle memory and keeps
+        #: backpressure honest).
+        self.pipeline_depth = 2
+        #: Per-channel FIFO of submitted-but-uncollected dispatches;
+        #: the FIFO *is* the in-order fan-out guarantee.
+        self._inflight: Dict[int, Deque[_InflightDispatch]] = {}
+        #: Peak number of concurrently in-flight dispatches across all
+        #: channels (reported by ``run_workload`` as pipeline overlap).
+        self.pipeline_in_flight_peak = 0
 
     # -- nonce management -------------------------------------------------------
 
@@ -243,13 +288,25 @@ class CommController:
     def _drain_channel(self, channel: Channel, force: bool, cause: str):
         """Process: pop and dispatch batches per the flush policy.
 
-        Each dispatch charges one scheduler control overhead (the
-        coalesced ENCRYPT/DECRYPT instruction — amortised across the
-        batch, which is the point of coalescing) plus the crossbar
-        word time of everything the batch moves, then runs the batch
-        engine and stamps per-packet completions.  ``force`` drains
-        under-filled batches (deadline/end-of-stream); otherwise only
-        full batches leave.
+        The *dispatch* step of the canonical flush lifecycle documented
+        on :class:`repro.mccp.channel.FlushPolicy`.  Each dispatch
+        charges one scheduler control overhead (the coalesced
+        ENCRYPT/DECRYPT instruction — amortised across the batch, which
+        is the point of coalescing) plus the crossbar word time of
+        everything the batch moves, then runs the batch engine and
+        stamps per-packet completions.  ``force`` drains under-filled
+        batches (deadline/end-of-stream); otherwise only full batches
+        leave.
+
+        With :attr:`pipelined` set, dispatches are *submitted* instead
+        of computed in place: the drain keeps popping and submitting
+        while workers chew, reaping the oldest handle whenever a
+        channel exceeds :attr:`pipeline_depth` — and reaping every
+        outstanding handle before a forced drain returns, so
+        end-of-stream semantics (and ``close_channel``'s in-flight
+        guard) are unchanged.  Reaping is strictly FIFO per channel,
+        which is what turns out-of-order wall-clock completion into
+        in-order per-channel fan-out.
         """
         cid = channel.channel_id
         while cid in self._draining:
@@ -267,19 +324,53 @@ class CommController:
                 # close_channel until their completions fire — the
                 # dispatch is about to yield simulated time.
                 channel.in_flight += len(batch)
+                handed_off = False
                 try:
                     yield self.mccp.scheduler.overhead_delay()
                     words = sum(job_transfer_words(job) for job in batch)
                     yield Delay(words * self.mccp.timing.crossbar_word_cycles)
-                    results = self.mccp.dispatch_jobs(
-                        cid, batch, backend=self.backend
-                    )
                     stats = channel.stats
-                    stats[f"flush_{cause}"] = stats.get(f"flush_{cause}", 0) + 1
-                    for job, result in zip(batch, results):
-                        transfers.append(self._complete_batch_job(job, result))
+                    if self.pipelined:
+                        handle = self.mccp.dispatch_jobs_async(
+                            cid, batch, backend=self.backend
+                        )
+                        queue = self._inflight.setdefault(cid, deque())
+                        queue.append(
+                            _InflightDispatch(handle, batch, self.sim.now)
+                        )
+                        handed_off = True
+                        stats[f"flush_{cause}"] = (
+                            stats.get(f"flush_{cause}", 0) + 1
+                        )
+                        depth = sum(
+                            len(q) for q in self._inflight.values()
+                        )
+                        if depth > self.pipeline_in_flight_peak:
+                            self.pipeline_in_flight_peak = depth
+                        while len(queue) > self.pipeline_depth:
+                            transfers.extend(self._reap_oldest(channel))
+                    else:
+                        results = self.mccp.dispatch_jobs(
+                            cid, batch, backend=self.backend
+                        )
+                        stats[f"flush_{cause}"] = (
+                            stats.get(f"flush_{cause}", 0) + 1
+                        )
+                        for job, result in zip(batch, results):
+                            transfers.append(
+                                self._complete_batch_job(job, result)
+                            )
                 finally:
-                    channel.in_flight -= len(batch)
+                    if not handed_off:
+                        channel.in_flight -= len(batch)
+            if force:
+                # A forced drain is a pipeline barrier: everything this
+                # channel still has in flight (including batches earlier
+                # size-triggered drains left cooking) fans out before we
+                # return, so flush_now callers see a fully quiesced
+                # channel exactly as they do synchronously.
+                while self._inflight.get(cid):
+                    transfers.extend(self._reap_oldest(channel))
         finally:
             self._draining.discard(cid)
             self._drain_done.pop(cid).trigger()
@@ -287,12 +378,41 @@ class CommController:
             self.sim.cancel(self._deadlines.pop(cid))
         return transfers
 
+    def _reap_oldest(self, channel: Channel) -> List[CompletedTransfer]:
+        """Collect the channel's oldest in-flight dispatch; fan out.
+
+        Blocks (wall-clock, zero sim time) until the handle resolves —
+        the same retries/degradation/quarantine machinery the blocking
+        dispatch applies runs here.  Completion records are stamped
+        with the dispatch's recorded cycle, not the reap cycle, keeping
+        latency accounting byte-identical to the synchronous dataplane.
+        """
+        queue = self._inflight.get(channel.channel_id)
+        if not queue:
+            return []
+        entry = queue.popleft()
+        try:
+            results = entry.handle.result()
+        finally:
+            channel.in_flight -= len(entry.batch)
+        return [
+            self._complete_batch_job(
+                job, result, at_cycle=entry.dispatched_cycle
+            )
+            for job, result in zip(entry.batch, results)
+        ]
+
     def flush_now(self, channel: Channel):
         """Process: force-drain everything queued on *channel*.
 
-        End-of-stream hook for size-only policies and workload tails —
-        waiting out an idle deadline after the last packet would charge
-        phantom latency.
+        The *explicit force* trigger of the canonical flush lifecycle
+        documented on :class:`repro.mccp.channel.FlushPolicy` — the
+        end-of-stream hook for size-only policies and workload tails,
+        where waiting out an idle deadline after the last packet would
+        charge phantom latency.  Under the pipelined dataplane this is
+        also the pipeline barrier: the returned transfers include any
+        still-in-flight batches from earlier drains, reaped in
+        submission order, so the channel is fully quiesced on return.
         """
         transfers = yield from self._drain_channel(
             channel, force=True, cause="forced"
@@ -300,9 +420,15 @@ class CommController:
         return transfers
 
     def _complete_batch_job(
-        self, job: PacketJob, result
+        self, job: PacketJob, result, at_cycle: Optional[int] = None
     ) -> CompletedTransfer:
-        """Fan one batch-engine outcome back out to a per-packet record."""
+        """Fan one batch-engine outcome back out to a per-packet record.
+
+        *at_cycle* backdates the completion stamps to the cycle the
+        synchronous dataplane would have completed the job at (the
+        pipelined reap path); None stamps the current cycle.
+        """
+        stamp = self.sim.now if at_cycle is None else at_cycle
         transfer = CompletedTransfer(
             request=None,
             job=job,
@@ -311,13 +437,13 @@ class CommController:
             payload=result.payload,
             tag=result.tag,
             ok=result.ok,
-            download_done_cycle=self.sim.now,
+            download_done_cycle=stamp,
         )
-        job.completed_cycle = self.sim.now
+        job.completed_cycle = stamp
         job.transfer = transfer
         self._jobs_completed += 1
         self.completed[-self._jobs_completed] = transfer
-        self.latencies.append(self.sim.now - job.created_cycle)
+        self.latencies.append(stamp - job.created_cycle)
         if not result.ok:
             if result.error is not None:
                 # Unrecoverable failure, not a forged tag: route to the

@@ -17,7 +17,18 @@ on the same :class:`repro.mccp.channel.PacketJob` pipeline:
   the multi-packet batch engine, with per-packet completions fanning
   back out for latency accounting.  Channels the batch engine cannot
   serve (CTR streams, two-core CCM) transparently fall back to the
-  cores path.
+  cores path;
+- ``dataplane="pipelined"`` — the batched pipeline with asynchronous
+  dispatch: each batch is *submitted* to the execution backend and
+  the simulator keeps coalescing the next one while thread/process
+  workers run the current one (``WorkloadSpec.pipeline_depth`` bounds
+  the overlap).  Same bytes, same per-channel completion order, same
+  cycle stamps as ``"batched"`` — only wall-clock overlaps.
+
+The preferred calling convention is a :class:`WorkloadSpec` —
+``platform.run_workload(WorkloadSpec(configs, dataplane="pipelined"))``
+— which consolidates what used to be a sprawl of keyword arguments;
+the old kwargs still work as a thin deprecated shim.
 
 Both dataplanes secure every packet under the same deterministic
 per-(channel, sequence) nonce, so they produce byte-identical secured
@@ -46,7 +57,8 @@ identical across all three.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, replace
+import warnings
+from dataclasses import dataclass, field, replace
 from typing import List, Optional, Sequence
 
 from repro.analysis.throughput import WorkloadReport
@@ -62,7 +74,10 @@ from repro.radio.traffic import GeneratedPacket, TrafficGenerator, TrafficPatter
 from repro.resilience import stats as resilience_stats
 from repro.sim.kernel import Delay, Simulator
 
-__all__ = ["ChannelConfig", "SdrPlatform", "WorkloadReport"]
+__all__ = ["ChannelConfig", "SdrPlatform", "WorkloadReport", "WorkloadSpec"]
+
+#: The dataplanes :meth:`SdrPlatform.run_workload` can replay through.
+DATAPLANES = ("cores", "batched", "pipelined")
 
 
 @dataclass
@@ -90,6 +105,51 @@ class ChannelConfig:
     #: flight (fails authentication; the dataplane must reject it
     #: without disturbing batch-mates).
     corrupt_rate: float = 0.0
+
+
+@dataclass
+class WorkloadSpec:
+    """Everything one :meth:`SdrPlatform.run_workload` replay needs.
+
+    Consolidates the run-level knobs that used to travel as separate
+    keyword arguments; a spec is a value object, so the same workload
+    can be replayed across dataplanes/backends with
+    ``dataclasses.replace(spec, dataplane=...)``.
+    """
+
+    #: The channels to provision and their traffic.
+    configs: Sequence[ChannelConfig] = field(default_factory=tuple)
+    #: Simulated-cycle budget per channel-drained wait.
+    limit: int = 2_000_000_000
+    #: ``"cores"``, ``"batched"`` or ``"pipelined"`` (module docstring).
+    dataplane: str = "cores"
+    #: Run-level flush-policy override (per-config policies win).
+    flush_policy: Optional[FlushPolicy] = None
+    #: Where batched dispatches' crypto sweeps execute for this run
+    #: (:mod:`repro.crypto.fast.exec`; None keeps the platform's own).
+    backend: BackendSpec = None
+    #: Run-level receive-side traffic mix (per-config non-zero wins).
+    rx_fraction: float = 0.0
+    loss_rate: float = 0.0
+    corrupt_rate: float = 0.0
+    #: Dispatches a channel may keep in flight under the pipelined
+    #: dataplane before its drain blocks to reap the oldest.
+    pipeline_depth: int = 2
+
+    def __post_init__(self) -> None:
+        if self.dataplane not in DATAPLANES:
+            raise ValueError(
+                f"unknown dataplane {self.dataplane!r}; valid: "
+                + ", ".join(DATAPLANES)
+            )
+        if self.pipeline_depth < 1:
+            raise ValueError(
+                f"pipeline_depth must be >= 1, got {self.pipeline_depth}"
+            )
+
+
+#: Marks a legacy run_workload kwarg the caller did not pass.
+_UNSET = object()
 
 
 @dataclass(frozen=True)
@@ -155,33 +215,85 @@ class SdrPlatform:
 
     def run_workload(
         self,
-        configs: Sequence[ChannelConfig],
-        limit: int = 2_000_000_000,
-        dataplane: str = "cores",
-        flush_policy: Optional[FlushPolicy] = None,
-        backend: BackendSpec = None,
-        rx_fraction: float = 0.0,
-        loss_rate: float = 0.0,
-        corrupt_rate: float = 0.0,
+        configs=None,
+        limit=_UNSET,
+        dataplane=_UNSET,
+        flush_policy=_UNSET,
+        backend=_UNSET,
+        rx_fraction=_UNSET,
+        loss_rate=_UNSET,
+        corrupt_rate=_UNSET,
+        *,
+        spec: Optional[WorkloadSpec] = None,
     ) -> WorkloadReport:
         """Replay every channel's traffic to completion; returns the report.
 
-        *dataplane* selects the execution engine (see module
-        docstring); *flush_policy* overrides every provisioned
-        channel's coalescing knobs for this run (per-config policies
-        win).  *backend* selects where the batched dispatches' crypto
-        sweeps execute for this run (:mod:`repro.crypto.fast.exec`;
-        None keeps the platform's backend).  *rx_fraction* /
-        *loss_rate* / *corrupt_rate* set the run-level receive-side
-        traffic mix (per-config non-zero values win, mirroring
-        *flush_policy*).  Both engines report into the same
+        Preferred form: one :class:`WorkloadSpec`, passed positionally
+        or as ``spec=`` — it carries the dataplane, flush policy,
+        backend, rx mix and pipeline depth.  The legacy keyword
+        arguments (``dataplane=``, ``backend=``, ...) still work as a
+        thin deprecated shim that builds the spec for you and emits a
+        :class:`DeprecationWarning`; they cannot be combined with an
+        explicit spec.  Every engine reports into the same
         :class:`WorkloadReport`, which additionally carries the queue
-        depth / backpressure statistics of the batched pipeline and
-        the rx loss/auth-failure tallies.
+        depth / backpressure statistics of the batched pipeline, the
+        rx loss/auth-failure tallies, and the pipelined dataplane's
+        in-flight overlap peak.
         """
-        if dataplane not in ("cores", "batched"):
-            raise ValueError(f"unknown dataplane {dataplane!r}")
+        legacy = {
+            name: value
+            for name, value in (
+                ("limit", limit),
+                ("dataplane", dataplane),
+                ("flush_policy", flush_policy),
+                ("backend", backend),
+                ("rx_fraction", rx_fraction),
+                ("loss_rate", loss_rate),
+                ("corrupt_rate", corrupt_rate),
+            )
+            if value is not _UNSET
+        }
+        if isinstance(configs, WorkloadSpec):
+            if spec is not None:
+                raise TypeError(
+                    "pass the WorkloadSpec positionally or as spec=, not both"
+                )
+            spec, configs = configs, None
+        if spec is not None:
+            if configs is not None or legacy:
+                raise TypeError(
+                    "combine every run parameter into the WorkloadSpec; "
+                    "mixing spec= with legacy arguments is not supported"
+                )
+        else:
+            if configs is None:
+                raise TypeError(
+                    "run_workload needs a WorkloadSpec or a ChannelConfig "
+                    "sequence"
+                )
+            if legacy:
+                warnings.warn(
+                    "run_workload's per-knob keyword arguments are "
+                    "deprecated; pass a WorkloadSpec instead, e.g. "
+                    "run_workload(WorkloadSpec(configs, dataplane=...))",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
+            spec = WorkloadSpec(configs=configs, **legacy)
+        return self._run_spec(spec)
+
+    def _run_spec(self, spec: WorkloadSpec) -> WorkloadReport:
+        """Execute one validated :class:`WorkloadSpec`."""
+        configs = spec.configs
+        dataplane = spec.dataplane
+        flush_policy = spec.flush_policy
+        backend = spec.backend
+        rx_fraction = spec.rx_fraction
+        loss_rate = spec.loss_rate
+        corrupt_rate = spec.corrupt_rate
+        limit = spec.limit
         report = WorkloadReport(total_cycles=0, packets_done=0, payload_bytes=0)
+        report.dataplane = dataplane
         done_events = []
         channels: List[Channel] = []
         # The scheduler/comm counters are platform-cumulative; snapshot
@@ -194,8 +306,12 @@ class SdrPlatform:
         # the backend layer); the before/after delta is this run's.
         base_resilience = resilience_stats.snapshot()
         previous_backend = self.comm.backend
+        previous_pipeline = (self.comm.pipelined, self.comm.pipeline_depth)
         if backend is not None:
             self.comm.backend = backend
+        self.comm.pipelined = dataplane == "pipelined"
+        self.comm.pipeline_depth = spec.pipeline_depth
+        self.comm.pipeline_in_flight_peak = 0
         try:
             self._launch_channels(
                 configs, dataplane, flush_policy, report, done_events,
@@ -205,7 +321,9 @@ class SdrPlatform:
                 self.sim.run_until_event(event, limit=limit)
         finally:
             self.comm.backend = previous_backend
+            self.comm.pipelined, self.comm.pipeline_depth = previous_pipeline
         report.total_cycles = self.sim.now
+        report.pipeline_in_flight_peak = self.comm.pipeline_in_flight_peak
         report.latencies = list(self.comm.latencies[base_latencies:])
         report.core_submits = (
             self.mccp.scheduler.requests_submitted - base_submits
@@ -279,7 +397,7 @@ class SdrPlatform:
             finished = self.sim.event(f"chan{channel.channel_id}.drained")
             done_events.append(finished)
             batched = (
-                dataplane == "batched"
+                dataplane in ("batched", "pipelined")
                 and channel.algorithm in BATCHABLE_ALGORITHMS
                 and not (
                     config.two_core_ccm and channel.algorithm is Algorithm.CCM

@@ -32,8 +32,10 @@ def test_run_bench_quick_emits_snapshot(tmp_path):
         assert entry["iterations"] >= 1, name
     # Every *_fast kernel has a paired *_reference and a derived
     # speedup; batch kernels derive per-packet ratios vs the
-    # sequential fast kernel, and backend-parametrized batch kernels
-    # derive pooled-over-inline ratios.
+    # sequential fast kernel, backend-parametrized batch kernels
+    # derive pooled-over-inline ratios, and pipelined dataplane
+    # kernels derive packets/s ratios vs their synchronous backend
+    # twin (only the thread twin exists; pipelined_process has none).
     assert set(snapshot["speedups"]) == {
         "aes_block",
         "gf128_mul",
@@ -48,6 +50,7 @@ def test_run_bench_quick_emits_snapshot(tmp_path):
         "ccm_2kb_batch32_thread_over_inline",
         "ccm_2kb_batch32_process_over_inline",
         "radio_ccm_2kb_batch32_thread_over_inline",
+        "radio_ccm_2kb_batch32_pipelined_thread_over_sync",
     }
     assert all(ratio > 0 for ratio in snapshot["speedups"].values())
     # Backend context rides along for cross-machine honesty.
