@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Overload protection in action: a session storm on bounded channels.
+
+Runs the same deterministic storm of sessions twice — once on
+unbounded channels (every packet admitted, queues grow as deep as the
+backlog), once with bounded queues plus admission control — and prints
+the per-class SLA summary of each, showing prioritized load shedding
+at work: control-class traffic keeps completing inside its latency
+budget while bulk transfers absorb the shedding.
+"""
+
+import sys
+from dataclasses import replace
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.analysis.throughput import ClassSla, SlaSpec
+from repro.radio.admission import AdmissionPolicy, priority_class_name
+from repro.radio.sessions import SessionWorkload, run_sessions
+
+
+def show(title, report):
+    print(f"--- {title}")
+    print(
+        f"sessions {report.sessions_completed}/{report.sessions_started} "
+        f"(handoffs {report.handoffs}, rekeys {report.rekeys})  "
+        f"packets {report.packets_done} done / {report.shed} shed  "
+        f"queue peak {report.queue_peak()}"
+    )
+    for name, row in report.sla_summary().items():
+        print(
+            f"  {name:12s} p50 {row['p50_us']:8.1f}us  "
+            f"p99 {row['p99_us']:8.1f}us  "
+            f"drop {row['drop_fraction']:6.1%}  "
+            f"completed {int(row['completed'])}"
+        )
+
+
+def main():
+    storm = SessionWorkload(
+        sessions=24,
+        horizon_cycles=80_000,
+        arrival="bursty",
+        dataplane="batched",
+    )
+
+    unthrottled = run_sessions(storm, seed=11)
+    show("unbounded queues (no overload protection)", unthrottled)
+
+    protected = replace(
+        storm,
+        queue_capacity=6,
+        admission=AdmissionPolicy(defer_cycles=400, max_defers=32),
+    )
+    report = run_sessions(protected, seed=11)
+    show("bounded queues + admission control", report)
+
+    sla = SlaSpec(
+        classes={
+            0: ClassSla(p99_us=5_000.0, max_drop_fraction=0.0),
+        },
+        max_auth_failures=0,
+        max_dead_lettered=0,
+    )
+    violations = report.check_sla(sla)
+    print(f"--- control-class SLA: {'HOLDS' if not violations else violations}")
+    by_class = {
+        priority_class_name(p): n for p, n in report.shed_by_class.items()
+    }
+    print(f"shed by class: {by_class or 'nothing shed'}")
+
+
+if __name__ == "__main__":
+    main()

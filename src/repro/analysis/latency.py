@@ -1,9 +1,22 @@
-"""Latency statistics for the mapping trade-off (E7) and QoS (E9)."""
+"""Latency statistics for the mapping trade-off (E7) and QoS (E9).
+
+Two percentile flavours live here and they are deliberately different:
+
+- :func:`_percentile` interpolates between neighbouring order
+  statistics (the classic "linear" method) — smooth summaries for the
+  mapping trade-off plots;
+- :func:`nearest_rank_percentile` is the **exact nearest-rank**
+  method: it always returns a value that actually occurred in the
+  sample, which is what an SLA assertion wants — "p99 latency was
+  2 481 cycles" must name a real packet, not an average of two.  Pure
+  Python, no numpy.
+"""
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Dict, Iterable, Sequence
 
 
 @dataclass(frozen=True)
@@ -41,6 +54,43 @@ def _percentile(sorted_values: Sequence[float], q: float) -> float:
     hi = min(lo + 1, len(sorted_values) - 1)
     frac = idx - lo
     return sorted_values[lo] * (1 - frac) + sorted_values[hi] * frac
+
+
+def nearest_rank_percentile(values: Sequence[float], q: float) -> float:
+    """Exact nearest-rank percentile of *values* (0 for an empty sample).
+
+    ``q`` is a fraction in ``(0, 1]`` — ``0.99`` for p99.  Nearest-rank
+    definition: the smallest sample value such that at least ``q`` of
+    the sample is <= it, i.e. the order statistic at rank
+    ``ceil(q * n)`` (1-indexed).  Always an element of *values*; no
+    interpolation, no numpy.  ``q=1.0`` is the sample maximum.
+    """
+    if not 0.0 < q <= 1.0:
+        raise ValueError(f"percentile fraction must be in (0, 1], got {q}")
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q * len(ordered)))
+    return ordered[rank - 1]
+
+
+def nearest_rank_percentiles(
+    values: Sequence[float], fractions: Iterable[float] = (0.5, 0.99, 0.999)
+) -> Dict[float, float]:
+    """Several :func:`nearest_rank_percentile` cuts, sorting once."""
+    ordered = sorted(values)
+    out: Dict[float, float] = {}
+    for q in fractions:
+        if not 0.0 < q <= 1.0:
+            raise ValueError(
+                f"percentile fraction must be in (0, 1], got {q}"
+            )
+        if not ordered:
+            out[q] = 0.0
+        else:
+            rank = max(1, math.ceil(q * len(ordered)))
+            out[q] = ordered[rank - 1]
+    return out
 
 
 def latency_stats(latencies_cycles: Sequence[int], clock_hz: float = 190e6) -> LatencyStats:

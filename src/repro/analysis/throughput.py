@@ -16,12 +16,18 @@ each flush) alongside the classic throughput/latency numbers.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.cycles import LoopModel
+from repro.analysis.latency import nearest_rank_percentile
 from repro.unit.timing import DEFAULT_TIMING, TimingModel
 
 CLOCK_HZ_DEFAULT = 190e6
+
+#: Priority-class display names (control > interactive > bulk; lower
+#: integer = more important).  Kept here — not imported from the radio
+#: layer — because analysis sits below radio in the dependency order.
+CLASS_NAMES: Dict[int, str] = {0: "control", 1: "interactive", 2: "bulk"}
 
 
 @dataclass
@@ -77,11 +83,106 @@ class WorkloadReport:
     #: Packets bisect-isolated out of a poisoned batch.
     quarantined: int = 0
     #: Jobs routed to a dead-letter queue (quarantines plus key-fetch
-    #: exhaustion); the drop side of open item 3's SLA budgets.
+    #: exhaustion); capped by ``SlaSpec.max_dead_lettered``.
     dead_lettered: int = 0
     #: Injected faults that fired during the run (best-effort count:
     #: faults inside shared-nothing process workers tally locally).
     faults_injected: int = 0
+    # -- overload protection / SLA accounting ---------------------------
+    #: Per-priority-class latency samples (cycles); the feed for the
+    #: p50/p99/p999 SLA percentiles.  Keys are priority integers
+    #: (0 = control, 1 = interactive, 2 = bulk).
+    per_class_latencies: Dict[int, List[int]] = field(default_factory=dict)
+    #: Packets the admission controller admitted, per priority class
+    #: (empty when no admission policy ran).
+    admitted_by_class: Dict[int, int] = field(default_factory=dict)
+    #: Packets shed by admission control, per priority class.  Shed is
+    #: its own budget: never counted in ``auth_failures`` or
+    #: ``dead_lettered``, and excluded from ``packets_done``.
+    shed_by_class: Dict[int, int] = field(default_factory=dict)
+    #: Shed counts per cause ("watermark", "pressure", "defer_budget").
+    shed_causes: Dict[str, int] = field(default_factory=dict)
+    #: The exact shed set as sorted ``(channel_id, sequence)`` pairs —
+    #: deterministically reproducible from the seed; the overload
+    #: suite pins it equal across backends and dataplanes.
+    shed_packets: List[Tuple[int, int]] = field(default_factory=list)
+    #: Defer waits the admission controller imposed (a packet may
+    #: defer several times before admitting or shedding).
+    deferrals: int = 0
+    #: Typed :class:`repro.errors.BackpressureError` signals bounded
+    #: channel queues raised during the run.
+    backpressure_signals: int = 0
+    # -- circuit breaker ------------------------------------------------
+    #: Backend circuit-breaker trips (CLOSED/HALF_OPEN -> OPEN).
+    breaker_trips: int = 0
+    #: Spans an OPEN breaker routed around a sick backend.
+    breaker_bypasses: int = 0
+    #: Breakers that closed again after successful half-open probes.
+    breaker_recoveries: int = 0
+    # -- session layer --------------------------------------------------
+    #: Sessions the session manager started / ran to teardown.
+    sessions_started: int = 0
+    sessions_completed: int = 0
+    #: Mid-session channel handoffs performed.
+    handoffs: int = 0
+    #: Per-session rekeys through the key scheduler.
+    rekeys: int = 0
+
+    @property
+    def shed(self) -> int:
+        """Total packets shed by admission control."""
+        return sum(self.shed_by_class.values())
+
+    def offered_by_class(self) -> Dict[int, int]:
+        """Admitted + shed per class (the admission-visible load)."""
+        out = dict(self.admitted_by_class)
+        for priority, count in self.shed_by_class.items():
+            out[priority] = out.get(priority, 0) + count
+        return out
+
+    def drop_fraction(self, priority: int) -> float:
+        """Shed share of the offered load for one priority class."""
+        offered = self.offered_by_class().get(priority, 0)
+        if offered == 0:
+            return 0.0
+        return self.shed_by_class.get(priority, 0) / offered
+
+    def class_percentile_us(
+        self,
+        priority: int,
+        q: float,
+        clock_hz: float = CLOCK_HZ_DEFAULT,
+    ) -> float:
+        """Exact nearest-rank latency percentile for one class, in us."""
+        samples = self.per_class_latencies.get(priority, [])
+        return nearest_rank_percentile(samples, q) / clock_hz * 1e6
+
+    def sla_summary(
+        self, clock_hz: float = CLOCK_HZ_DEFAULT
+    ) -> Dict[str, Dict[str, float]]:
+        """p50/p99/p999 + drop fraction per priority class (by name)."""
+        out: Dict[str, Dict[str, float]] = {}
+        for priority in sorted(
+            set(self.per_class_latencies) | set(self.offered_by_class())
+        ):
+            name = CLASS_NAMES.get(priority, f"p{priority}")
+            out[name] = {
+                "p50_us": self.class_percentile_us(priority, 0.50, clock_hz),
+                "p99_us": self.class_percentile_us(priority, 0.99, clock_hz),
+                "p999_us": self.class_percentile_us(priority, 0.999, clock_hz),
+                "drop_fraction": self.drop_fraction(priority),
+                "completed": float(
+                    len(self.per_class_latencies.get(priority, ()))
+                ),
+                "shed": float(self.shed_by_class.get(priority, 0)),
+            }
+        return out
+
+    def check_sla(
+        self, spec: "SlaSpec", clock_hz: float = CLOCK_HZ_DEFAULT
+    ) -> List[str]:
+        """Violations of *spec* (empty list = the SLA holds)."""
+        return spec.violations(self, clock_hz)
 
     def throughput_mbps(self, clock_hz: float = CLOCK_HZ_DEFAULT) -> float:
         """Aggregate payload throughput at *clock_hz*."""
@@ -118,6 +219,95 @@ class WorkloadReport:
     def queue_peak(self) -> int:
         """Deepest coalescing queue observed on any channel."""
         return max(self.per_channel_queue_peak.values(), default=0)
+
+
+@dataclass(frozen=True)
+class ClassSla:
+    """Service-level budgets for one priority class (None = unchecked)."""
+
+    #: Latency budgets in microseconds (exact nearest-rank percentiles).
+    p50_us: Optional[float] = None
+    p99_us: Optional[float] = None
+    p999_us: Optional[float] = None
+    #: Max shed share of the class's offered load (0.0 = never shed).
+    max_drop_fraction: Optional[float] = None
+    #: Require at least this many completed packets in the class, so a
+    #: latency budget cannot pass vacuously on an empty sample.
+    min_completed: int = 0
+
+
+@dataclass(frozen=True)
+class SlaSpec:
+    """An asserted service level: per-class budgets + run-level caps.
+
+    Built for scenarios: ``report.check_sla(spec)`` returns a list of
+    human-readable violations (empty = the SLA holds), so an
+    experiment can hard-fail with the exact broken budget in the
+    message.  Latency cuts use the exact nearest-rank percentile
+    (:func:`repro.analysis.latency.nearest_rank_percentile`) — every
+    reported number is a latency some real packet paid.
+    """
+
+    #: Budgets per priority class (0 = control, 1 = interactive,
+    #: 2 = bulk).
+    classes: Dict[int, ClassSla] = field(default_factory=dict)
+    #: Run-level cap on authentication failures (None = unchecked).
+    max_auth_failures: Optional[int] = None
+    #: Run-level cap on dead-lettered jobs (None = unchecked).
+    max_dead_lettered: Optional[int] = None
+
+    def violations(
+        self, report: WorkloadReport, clock_hz: float = CLOCK_HZ_DEFAULT
+    ) -> List[str]:
+        """Every budget *report* breaks, most important class first."""
+        out: List[str] = []
+        for priority in sorted(self.classes):
+            budget = self.classes[priority]
+            name = CLASS_NAMES.get(priority, f"p{priority}")
+            completed = len(report.per_class_latencies.get(priority, ()))
+            if completed < budget.min_completed:
+                out.append(
+                    f"{name}: only {completed} completed packets "
+                    f"(min {budget.min_completed})"
+                )
+            for q, cap in (
+                (0.50, budget.p50_us),
+                (0.99, budget.p99_us),
+                (0.999, budget.p999_us),
+            ):
+                if cap is None:
+                    continue
+                got = report.class_percentile_us(priority, q, clock_hz)
+                if got > cap:
+                    out.append(
+                        f"{name}: p{q * 100:g} latency {got:.1f}us "
+                        f"over budget {cap:.1f}us"
+                    )
+            if budget.max_drop_fraction is not None:
+                got = report.drop_fraction(priority)
+                if got > budget.max_drop_fraction:
+                    out.append(
+                        f"{name}: drop fraction {got:.3f} over budget "
+                        f"{budget.max_drop_fraction:.3f}"
+                    )
+        if (
+            self.max_auth_failures is not None
+            and report.auth_failures > self.max_auth_failures
+        ):
+            out.append(
+                f"auth failures {report.auth_failures} over budget "
+                f"{self.max_auth_failures}"
+            )
+        if (
+            self.max_dead_lettered is not None
+            and report.dead_lettered > self.max_dead_lettered
+        ):
+            out.append(
+                f"dead-lettered {report.dead_lettered} over budget "
+                f"{self.max_dead_lettered}"
+            )
+        return out
+
 
 #: Table II as published: {(mode_config, key_bits): (theoretical, 2KB)}
 #: mode_config in {"gcm_1", "gcm_4x1", "ccm_1", "ccm_4x1", "ccm_2", "ccm_2x2"}.

@@ -79,6 +79,7 @@ from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import BackendError, BatchTimeoutError, WorkerCrashError
 from repro.resilience import stats as resilience_stats
+from repro.resilience.breaker import CircuitBreaker
 from repro.resilience.faults import FaultPoint
 from repro.resilience.policy import DEFAULT_POLICY, ResiliencePolicy
 
@@ -264,6 +265,12 @@ class ExecutionBackend(ABC):
         #: degradation; the process backend's *structural* fallback
         #: keeps its own ``degraded_reason`` attribute).
         self.degradations: List[str] = []
+        #: Circuit breaker, created lazily from the first policy that
+        #: carries a :class:`~repro.resilience.breaker.BreakerPolicy`.
+        #: While OPEN, :meth:`submit` routes spans straight to the
+        #: fallback — proactive and recoverable, unlike the sticky
+        #: ``_degraded_to`` chain.
+        self._breaker: Optional[CircuitBreaker] = None
 
     @property
     @abstractmethod
@@ -293,6 +300,21 @@ class ExecutionBackend(ABC):
         """Forget sticky crash degradation (test/bench isolation)."""
         self._degraded_to = None
         self.degradations.clear()
+        if self._breaker is not None:
+            self._breaker.reset()
+
+    def _breaker_for(
+        self, policy: ResiliencePolicy
+    ) -> Optional[CircuitBreaker]:
+        """The instance breaker, created on first breaker-ful policy."""
+        if self._breaker is None and policy.breaker is not None:
+            self._breaker = CircuitBreaker(policy.breaker)
+        return self._breaker
+
+    @property
+    def breaker(self) -> Optional[CircuitBreaker]:
+        """The live circuit breaker, if a policy ever configured one."""
+        return self._breaker
 
     def run(
         self,
@@ -345,6 +367,14 @@ class ExecutionBackend(ABC):
             policy = self.resilience or DEFAULT_POLICY
         if self._degraded_to is not None:
             return self._degraded_to.submit(calls, policy)
+        breaker = self._breaker_for(policy)
+        if breaker is not None and breaker.should_bypass():
+            target = self.fallback()
+            if target is not None:
+                # Route around the sick backend without paying its
+                # retry/watchdog tax; the breaker's half-open probes
+                # decide when spans come back here.
+                return target.submit(calls, policy)
         return BatchHandle(self, calls, policy, self._launch(calls))
 
     def _launch(self, calls: List[Call]) -> Optional[object]:
@@ -409,6 +439,7 @@ class ExecutionBackend(ABC):
         # after attempt 0 runs through the ordinary machinery.
         if self._degraded_to is not None and first is None:
             return self._degraded_to._run_recovering(calls, policy)
+        breaker = self._breaker_for(policy)
         results: List[object] = [None] * len(calls)
         pending = list(range(len(calls)))
         attempt = 0
@@ -423,6 +454,8 @@ class ExecutionBackend(ABC):
                     ]
                     outcomes = self._execute(prepared, policy.watchdog_seconds)
             except BackendError as exc:
+                if breaker is not None:
+                    breaker.record_failure()
                 if attempt < policy.max_retries:
                     attempt = self._note_retry(attempt, policy)
                     continue
@@ -442,7 +475,11 @@ class ExecutionBackend(ABC):
                 else:
                     results[index] = outcome.value
             if not failed:
+                if breaker is not None:
+                    breaker.record_success()
                 return results
+            if breaker is not None:
+                breaker.record_failure()
             pending = failed
             if attempt < policy.max_retries:
                 attempt = self._note_retry(attempt, policy)

@@ -99,6 +99,28 @@ class ChannelError(DeviceError):
     """Raised when a channel id is unknown or in the wrong state."""
 
 
+class BackpressureError(DeviceError):
+    """Raised when an enqueue would push a bounded channel queue past
+    its high watermark.
+
+    The typed backpressure signal of the overload-protection layer:
+    instead of growing a coalescing queue without bound, a channel with
+    a configured :attr:`repro.mccp.channel.Channel.capacity` refuses
+    the job and the producer decides — wait and retry (radio-side
+    queueing), or hand the packet to the admission controller to defer
+    or shed.  Carries enough context for that decision.
+    """
+
+    def __init__(self, channel_id: int, depth: int, capacity: int):
+        super().__init__(
+            f"channel {channel_id} queue is at its high watermark "
+            f"({depth}/{capacity} jobs); back off or shed"
+        )
+        self.channel_id = channel_id
+        self.depth = depth
+        self.capacity = capacity
+
+
 class KeyStoreError(DeviceError):
     """Raised on key-memory violations (unknown id, write attempts)."""
 

@@ -11,6 +11,7 @@ from repro.experiments.scenarios import (  # noqa: F401  (registration imports)
     batch,
     bench,
     chaos,
+    overload,
     pipelined,
     platform,
     radio,

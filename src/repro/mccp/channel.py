@@ -75,7 +75,7 @@ class FlushPolicy:
     ``mode`` names the policy flavour.  ``"fixed"`` — the only mode
     implemented today — applies the two static knobs above verbatim.
     ``"auto"`` is reserved for the ROADMAP's adaptive controller
-    (open item 4: knobs chosen online from queue peaks, batch widths
+    (open item 3: knobs chosen online from queue peaks, batch widths
     and flush causes) and is rejected until it ships, so the name
     cannot silently mean "fixed" in the meantime.
     """
@@ -85,7 +85,14 @@ class FlushPolicy:
     mode: str = "fixed"
 
     def __post_init__(self) -> None:
-        if self.coalesce_limit < 1:
+        if self.coalesce_limit < 0:
+            raise ValueError(
+                f"coalesce_limit must be >= 0, got {self.coalesce_limit}; "
+                "a negative width would silently disable size-triggered "
+                "flushing downstream"
+            )
+        if self.coalesce_limit == 0:
+            # Documented floor: "dispatch immediately" callers write 0.
             self.coalesce_limit = 1
         if self.flush_deadline is not None and self.flush_deadline < 0:
             raise ValueError(
@@ -94,7 +101,7 @@ class FlushPolicy:
         if self.mode == "auto":
             raise ValueError(
                 "FlushPolicy(mode='auto') is reserved for the adaptive "
-                "flush controller (ROADMAP open item 4) and is not "
+                "flush controller (ROADMAP open item 3) and is not "
                 "implemented yet; use mode='fixed'"
             )
         if self.mode != "fixed":
@@ -196,9 +203,23 @@ class Channel:
     #: Jobs that failed unrecoverably (quarantined packet, unreadable
     #: key) and were pulled out of the normal completion stream's
     #: accounting: each carries a failed ``result`` whose ``error``
-    #: says why.  The per-channel quarantine the ROADMAP's SLA budgets
-    #: (open item 3) will draw drop accounting from.
+    #: says why.  The per-channel quarantine the SLA budgets
+    #: (``SlaSpec.max_dead_lettered``) draw drop accounting from.
     dead_letters: List[PacketJob] = field(default_factory=list)
+    #: Bound on :attr:`pending` (the high watermark): an enqueue that
+    #: would exceed it raises :class:`repro.errors.BackpressureError`
+    #: instead of growing the queue.  None (the default) keeps the
+    #: historical unbounded behaviour.
+    capacity: Optional[int] = None
+    #: Hysteresis floor: once the queue has hit the high watermark the
+    #: channel stays :attr:`under_pressure` until a drain brings the
+    #: depth back to this level (None = ``capacity // 2``).  The
+    #: admission controller sheds low-priority traffic while the flag
+    #: is set, so shedding doesn't flap per-packet around the
+    #: watermark.
+    low_watermark: Optional[int] = None
+    #: Sticky overload flag (see :attr:`low_watermark`).
+    under_pressure: bool = False
 
     @property
     def coalesce_limit(self) -> int:
@@ -224,20 +245,51 @@ class Channel:
         """Enqueue cycle of the oldest queued job (deadline anchor)."""
         return self.pending[0].enqueued_cycle if self.pending else None
 
+    @property
+    def effective_low_watermark(self) -> int:
+        """Hysteresis floor in jobs (only meaningful when bounded)."""
+        if self.low_watermark is not None:
+            return self.low_watermark
+        return max(1, (self.capacity or 2) // 2)
+
     def enqueue(self, job: PacketJob) -> int:
-        """Queue one job for batched dispatch; returns queue depth."""
-        self.pending.append(job)
+        """Queue one job for batched dispatch; returns queue depth.
+
+        On a bounded channel (non-None :attr:`capacity`) an enqueue at
+        the high watermark refuses the job with
+        :class:`repro.errors.BackpressureError` — the typed signal the
+        producer (or the admission controller) reacts to — and marks
+        the channel :attr:`under_pressure` until a drain clears it.
+        """
         depth = len(self.pending)
+        if self.capacity is not None and depth >= self.capacity:
+            self.under_pressure = True
+            stats = self.stats
+            stats["backpressure_signals"] = (
+                stats.get("backpressure_signals", 0) + 1
+            )
+            from repro.errors import BackpressureError
+
+            raise BackpressureError(self.channel_id, depth, self.capacity)
+        self.pending.append(job)
+        depth += 1
         stats = self.stats
         stats["jobs_enqueued"] = stats.get("jobs_enqueued", 0) + 1
         if depth > stats.get("queue_peak", 0):
             stats["queue_peak"] = depth
+        if self.capacity is not None and depth >= self.capacity:
+            self.under_pressure = True
         return depth
 
     def take_batch(self) -> List[PacketJob]:
         """Pop up to :attr:`coalesce_limit` jobs, submission order."""
         limit = max(1, self.coalesce_limit)
         batch, self.pending = self.pending[:limit], self.pending[limit:]
+        if (
+            self.under_pressure
+            and len(self.pending) <= self.effective_low_watermark
+        ):
+            self.under_pressure = False
         return batch
 
     def close(self) -> None:

@@ -69,6 +69,15 @@ class KeyScheduler:
         self.sim.add_process(finish(), name=f"keysched.load.{key_id}")
         return done
 
+    def invalidate(self, key_id: int) -> bool:
+        """Drop the memoized schedule for *key_id* (rekey hook).
+
+        Rewriting key material in the key memory must be paired with
+        this, or subsequent loads would install the *old* round keys
+        from the memo.  Returns whether a memo entry existed.
+        """
+        return self._memo.pop(key_id, None) is not None
+
     def load_sync(self, key_id: int, cache: KeyCache) -> int:
         """Immediate (zero-time) variant for tests and warm starts."""
         if key_id in self._memo:

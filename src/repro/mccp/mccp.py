@@ -171,6 +171,7 @@ class Mccp:
         trace: Optional[TraceRecorder] = None,
         key_memory: Optional[KeyMemory] = None,
         backend: BackendSpec = None,
+        max_channels: Optional[int] = None,
     ):
         if core_count < 1:
             raise ProtocolError("MCCP needs at least one core")
@@ -196,6 +197,12 @@ class Mccp:
         self.key_memory = key_memory if key_memory is not None else KeyMemory()
         self.key_scheduler = KeyScheduler(sim, self.key_memory, timing)
         self.crossbar = Crossbar(sim, timing)
+        scheduler_kwargs = {}
+        if max_channels is not None:
+            # Session-scale workloads multiplex thousands of sessions
+            # above the channel layer; the hardware table size stays
+            # the default for everyone else.
+            scheduler_kwargs["max_channels"] = max_channels
         self.scheduler = TaskScheduler(
             sim,
             self.cores,
@@ -204,6 +211,7 @@ class Mccp:
             timing,
             policy=policy,
             trace=self.trace,
+            **scheduler_kwargs,
         )
 
         #: Mirrors the hardware registers of section III.B.

@@ -31,6 +31,9 @@ from repro.sim.signals import Signal
 from repro.sim.tracing import TraceRecorder
 from repro.unit.timing import TimingModel
 
+#: The paper's hardware channel-table size; the software scheduler
+#: accepts a larger ``max_channels`` for session-scale workloads
+#: (thousands of concurrent sessions above the channel layer).
 MAX_CHANNELS = 16
 
 
@@ -88,9 +91,13 @@ class TaskScheduler:
         timing: TimingModel,
         policy=None,
         trace: Optional[TraceRecorder] = None,
+        max_channels: int = MAX_CHANNELS,
     ):
         from repro.sched.first_idle import FirstIdlePolicy
 
+        if max_channels < 1:
+            raise ProtocolError("max_channels must be >= 1")
+        self.max_channels = max_channels
         self.sim = sim
         self.cores = list(cores)
         self.key_scheduler = key_scheduler
@@ -116,7 +123,7 @@ class TaskScheduler:
         self, algorithm: Algorithm, key_id: int, tag_length: int = 16
     ) -> Channel:
         """OPEN: allocate a channel bound to (algorithm, key id)."""
-        if len(self.channels) >= MAX_CHANNELS:
+        if len(self.channels) >= self.max_channels:
             raise NoResourceError("no free channel slots")
         key_bits = self.key_scheduler.key_memory.key_bits(key_id)
         channel = Channel(

@@ -120,6 +120,10 @@ class CommController:
         self.completed: Dict[int, CompletedTransfer] = {}
         #: Per-packet latency records (creation -> download done).
         self.latencies: List[int] = []
+        #: The same records keyed by the job's priority class — the
+        #: feed for the per-class SLA percentiles (0 = control,
+        #: 1 = interactive, 2 = bulk).
+        self.class_latencies: Dict[int, List[int]] = {}
         self.auth_failures = 0
         #: NoResourceError retries observed by job-pipeline callers
         #: (radio-side backpressure; see SdrPlatform.run_workload).
@@ -444,6 +448,9 @@ class CommController:
         self._jobs_completed += 1
         self.completed[-self._jobs_completed] = transfer
         self.latencies.append(stamp - job.created_cycle)
+        self.class_latencies.setdefault(job.priority, []).append(
+            stamp - job.created_cycle
+        )
         if not result.ok:
             if result.error is not None:
                 # Unrecoverable failure, not a forged tag: route to the
@@ -578,6 +585,9 @@ class CommController:
         job.transfer = transfer
         self.completed[request.request_id] = transfer
         self.latencies.append(self.sim.now - job.created_cycle)
+        self.class_latencies.setdefault(job.priority, []).append(
+            self.sim.now - job.created_cycle
+        )
         if job.completion is not None and not job.completion.triggered:
             job.completion.trigger(transfer)
         return transfer

@@ -64,9 +64,11 @@ from typing import List, Optional, Sequence
 from repro.analysis.throughput import WorkloadReport
 from repro.core.params import Algorithm, Direction
 from repro.crypto.fast.exec import BackendSpec
-from repro.errors import NoResourceError
+from repro.errors import BackpressureError, NoResourceError
 from repro.mccp.channel import Channel, FlushPolicy
+from repro.mccp.key_memory import KeyMemory
 from repro.mccp.mccp import BATCHABLE_ALGORITHMS, Mccp
+from repro.radio.admission import AdmissionController, AdmissionPolicy
 from repro.radio.comm_controller import CommController
 from repro.radio.packet import Packet
 from repro.radio.standards import STANDARD_PROFILES, RadioStandard
@@ -105,6 +107,11 @@ class ChannelConfig:
     #: flight (fails authentication; the dataplane must reject it
     #: without disturbing batch-mates).
     corrupt_rate: float = 0.0
+    #: High watermark of this channel's coalescing queue (None = the
+    #: run-level :attr:`WorkloadSpec.queue_capacity`, or unbounded).
+    #: A bounded queue raises :class:`repro.errors.BackpressureError`
+    #: at the mark and feeds the admission controller's shed logic.
+    queue_capacity: Optional[int] = None
 
 
 @dataclass
@@ -135,6 +142,12 @@ class WorkloadSpec:
     #: Dispatches a channel may keep in flight under the pipelined
     #: dataplane before its drain blocks to reap the oldest.
     pipeline_depth: int = 2
+    #: Run-level bounded-queue high watermark (per-config capacities
+    #: win; None = unbounded queues, the historical behaviour).
+    queue_capacity: Optional[int] = None
+    #: Admission-control policy for the run (None = admit everything;
+    #: bounded queues then surface as BackpressureError retries).
+    admission: Optional[AdmissionPolicy] = None
 
     def __post_init__(self) -> None:
         if self.dataplane not in DATAPLANES:
@@ -145,6 +158,11 @@ class WorkloadSpec:
         if self.pipeline_depth < 1:
             raise ValueError(
                 f"pipeline_depth must be >= 1, got {self.pipeline_depth}"
+            )
+        if self.queue_capacity is not None and self.queue_capacity < 1:
+            raise ValueError(
+                f"queue_capacity must be >= 1 or None, got "
+                f"{self.queue_capacity}"
             )
 
 
@@ -181,6 +199,92 @@ def _arrived_packet(item: GeneratedPacket, now: int) -> Packet:
     return replace(item.packet, created_cycle=now)
 
 
+class _RunAccounting:
+    """Snapshot of the platform-cumulative counters one run starts from.
+
+    The scheduler/comm/resilience counters accumulate across runs on a
+    reused platform; constructing one of these before the run and
+    calling :meth:`fill` after yields a report scoped to just that
+    run's activity.  Shared by :meth:`SdrPlatform._run_spec` and the
+    session layer (:mod:`repro.radio.sessions`), so workload replays
+    and session storms account identically.
+    """
+
+    def __init__(self, platform: "SdrPlatform"):
+        self._platform = platform
+        comm = platform.comm
+        self.base_submits = platform.mccp.scheduler.requests_submitted
+        self.base_retries = comm.backpressure_retries
+        self.base_latencies = len(comm.latencies)
+        self.base_class_latencies = {
+            priority: len(samples)
+            for priority, samples in comm.class_latencies.items()
+        }
+        self.base_auth_failures = comm.auth_failures
+        # Resilience counters are process-wide (recovery fires deep in
+        # the backend layer); the before/after delta is this run's.
+        self.base_resilience = resilience_stats.snapshot()
+
+    def fill(
+        self,
+        report: WorkloadReport,
+        channels: Sequence[Channel],
+        controller: Optional[AdmissionController] = None,
+    ) -> WorkloadReport:
+        """Scope the cumulative counters into *report* (and return it)."""
+        platform = self._platform
+        comm = platform.comm
+        report.total_cycles = platform.sim.now
+        report.pipeline_in_flight_peak = comm.pipeline_in_flight_peak
+        report.latencies = list(comm.latencies[self.base_latencies:])
+        for priority, samples in comm.class_latencies.items():
+            start = self.base_class_latencies.get(priority, 0)
+            if len(samples) > start:
+                report.per_class_latencies[priority] = list(samples[start:])
+        report.core_submits = (
+            platform.mccp.scheduler.requests_submitted - self.base_submits
+        )
+        report.backpressure_retries = (
+            comm.backpressure_retries - self.base_retries
+        )
+        report.auth_failures = comm.auth_failures - self.base_auth_failures
+        accrued = resilience_stats.delta(self.base_resilience)
+        report.retries = accrued["retries"]
+        report.watchdog_fires = accrued["watchdog_fires"]
+        report.degradations = accrued["degradations"]
+        report.degradation_reasons = accrued["degradation_reasons"]
+        report.quarantined = accrued["quarantined"]
+        report.dead_lettered = accrued["dead_lettered"]
+        report.faults_injected = accrued["faults_injected"]
+        report.breaker_trips = accrued["breaker_trips"]
+        report.breaker_bypasses = accrued["breaker_bypasses"]
+        report.breaker_recoveries = accrued["breaker_recoveries"]
+        for channel in channels:
+            stats = channel.stats
+            report.per_channel_queue_peak[channel.channel_id] = stats.get(
+                "queue_peak", 0
+            )
+            report.per_channel_batches[channel.channel_id] = stats.get(
+                "batches", 0
+            )
+            report.backpressure_signals += stats.get(
+                "backpressure_signals", 0
+            )
+            for cause in ("size", "deadline", "forced"):
+                count = stats.get(f"flush_{cause}", 0)
+                if count:
+                    report.flush_causes[cause] = (
+                        report.flush_causes.get(cause, 0) + count
+                    )
+        if controller is not None:
+            report.admitted_by_class = dict(controller.admitted)
+            report.shed_by_class = controller.shed_by_class()
+            report.shed_causes = controller.shed_causes()
+            report.shed_packets = sorted(controller.shed_set())
+            report.deferrals = controller.deferrals
+        return report
+
+
 class SdrPlatform:
     """Main controller + MCCP + communication controller."""
 
@@ -191,9 +295,21 @@ class SdrPlatform:
         policy=None,
         seed: int = 0,
         backend: BackendSpec = None,
+        key_slots: Optional[int] = None,
+        max_channels: Optional[int] = None,
     ):
         self.sim = sim if sim is not None else Simulator()
-        self.mccp = Mccp(self.sim, core_count=core_count, policy=policy)
+        # Session-scale runs outgrow the hardware's 32-slot key memory
+        # and 16-entry channel table; both stay the defaults unless a
+        # caller (e.g. the session layer) asks for more.
+        key_memory = KeyMemory(slots=key_slots) if key_slots is not None else None
+        self.mccp = Mccp(
+            self.sim,
+            core_count=core_count,
+            policy=policy,
+            key_memory=key_memory,
+            max_channels=max_channels,
+        )
         self.comm = CommController(self.sim, self.mccp, seed=seed, backend=backend)
         self._next_key_id = 0
         self.seed = seed
@@ -296,15 +412,12 @@ class SdrPlatform:
         report.dataplane = dataplane
         done_events = []
         channels: List[Channel] = []
-        # The scheduler/comm counters are platform-cumulative; snapshot
-        # them so a reused platform reports only this run's activity.
-        base_submits = self.mccp.scheduler.requests_submitted
-        base_retries = self.comm.backpressure_retries
-        base_latencies = len(self.comm.latencies)
-        base_auth_failures = self.comm.auth_failures
-        # Resilience counters are process-wide (recovery fires deep in
-        # the backend layer); the before/after delta is this run's.
-        base_resilience = resilience_stats.snapshot()
+        controller = (
+            AdmissionController(spec.admission)
+            if spec.admission is not None
+            else None
+        )
+        accounting = _RunAccounting(self)
         previous_backend = self.comm.backend
         previous_pipeline = (self.comm.pipelined, self.comm.pipeline_depth)
         if backend is not None:
@@ -316,45 +429,14 @@ class SdrPlatform:
             self._launch_channels(
                 configs, dataplane, flush_policy, report, done_events,
                 channels, rx_fraction, loss_rate, corrupt_rate,
+                spec.queue_capacity, controller,
             )
             for event in done_events:
                 self.sim.run_until_event(event, limit=limit)
         finally:
             self.comm.backend = previous_backend
             self.comm.pipelined, self.comm.pipeline_depth = previous_pipeline
-        report.total_cycles = self.sim.now
-        report.pipeline_in_flight_peak = self.comm.pipeline_in_flight_peak
-        report.latencies = list(self.comm.latencies[base_latencies:])
-        report.core_submits = (
-            self.mccp.scheduler.requests_submitted - base_submits
-        )
-        report.backpressure_retries = (
-            self.comm.backpressure_retries - base_retries
-        )
-        report.auth_failures = self.comm.auth_failures - base_auth_failures
-        accrued = resilience_stats.delta(base_resilience)
-        report.retries = accrued["retries"]
-        report.watchdog_fires = accrued["watchdog_fires"]
-        report.degradations = accrued["degradations"]
-        report.degradation_reasons = accrued["degradation_reasons"]
-        report.quarantined = accrued["quarantined"]
-        report.dead_lettered = accrued["dead_lettered"]
-        report.faults_injected = accrued["faults_injected"]
-        for channel in channels:
-            stats = channel.stats
-            report.per_channel_queue_peak[channel.channel_id] = stats.get(
-                "queue_peak", 0
-            )
-            report.per_channel_batches[channel.channel_id] = stats.get(
-                "batches", 0
-            )
-            for cause in ("size", "deadline", "forced"):
-                count = stats.get(f"flush_{cause}", 0)
-                if count:
-                    report.flush_causes[cause] = (
-                        report.flush_causes.get(cause, 0) + count
-                    )
-        return report
+        return accounting.fill(report, channels, controller)
 
     def _launch_channels(
         self,
@@ -367,6 +449,8 @@ class SdrPlatform:
         rx_fraction: float,
         loss_rate: float,
         corrupt_rate: float,
+        queue_capacity: Optional[int] = None,
+        controller: Optional[AdmissionController] = None,
     ) -> None:
         """Provision every channel and spawn its traffic process."""
         for config in configs:
@@ -375,6 +459,9 @@ class SdrPlatform:
             policy = config.flush_policy or flush_policy
             if policy is not None:
                 channel.flush_policy = replace(policy)
+            capacity = config.queue_capacity or queue_capacity
+            if capacity is not None:
+                channel.capacity = capacity
             generator = TrafficGenerator(
                 channel_id=channel.channel_id,
                 profile=profile,
@@ -409,7 +496,10 @@ class SdrPlatform:
                 else self._core_channel_process
             )
             self.sim.add_process(
-                process(channel, config, schedule, plans, report, finished),
+                process(
+                    channel, config, schedule, plans, report, finished,
+                    controller,
+                ),
                 name=f"chan{channel.channel_id}",
             )
 
@@ -479,7 +569,8 @@ class SdrPlatform:
         )
 
     def _core_channel_process(
-        self, channel, config, schedule, plans, report, finished
+        self, channel, config, schedule, plans, report, finished,
+        controller=None,
     ):
         """Width-1 pipeline on the simulated cores (cycle model)."""
         for item, plan in zip(schedule, plans):
@@ -496,6 +587,13 @@ class SdrPlatform:
                 packet, direction, nonce, tag = (
                     arrived, Direction.DECRYPT, plan.nonce, plan.tag,
                 )
+            if controller is not None:
+                admitted = yield from controller.gate(
+                    self.sim, channel, packet.priority, packet.sequence
+                )
+                if not admitted:
+                    continue
+                controller.note_admitted(packet.priority)
             while True:
                 try:
                     yield from self.comm.process_packet(
@@ -515,8 +613,38 @@ class SdrPlatform:
             self._account(report, channel, len(packet.payload))
         finished.trigger()
 
+    def _submit_gated(self, channel, packet, controller, **kwargs):
+        """Process: admission-gate + enqueue one packet (None = shed).
+
+        The single producer-side funnel into a bounded channel.  With a
+        controller, its :meth:`~repro.radio.admission
+        .AdmissionController.gate` decides admit/defer/shed before the
+        enqueue ever happens; without one, a full queue surfaces as
+        :class:`~repro.errors.BackpressureError` and the producer backs
+        off in simulated time until the drain makes room — bounded
+        queues never grow past their watermark either way.
+        """
+        if controller is not None:
+            admitted = yield from controller.gate(
+                self.sim, channel, packet.priority, packet.sequence
+            )
+            if not admitted:
+                return None
+            job = self.comm.submit_job(channel, packet, **kwargs)
+            controller.note_admitted(packet.priority)
+            return job
+        while True:
+            try:
+                return self.comm.submit_job(channel, packet, **kwargs)
+            except BackpressureError:
+                # Queue at its high watermark: radio-side back-off,
+                # retried once the flush machinery has drained room.
+                self.comm.backpressure_retries += 1
+                yield Delay(50)
+
     def _batched_channel_process(
-        self, channel, config, schedule, plans, report, finished
+        self, channel, config, schedule, plans, report, finished,
+        controller=None,
     ):
         """Coalescing pipeline through the batch engine.
 
@@ -531,22 +659,22 @@ class SdrPlatform:
                 yield Delay(item.arrival_cycle - self.sim.now)
             packet = _arrived_packet(item, self.sim.now)
             if plan is None:
-                jobs.append(
-                    self.comm.submit_job(channel, packet, Direction.ENCRYPT)
+                job = yield from self._submit_gated(
+                    channel, packet, controller,
+                    direction=Direction.ENCRYPT,
                 )
-                continue
-            arrived = self._rx_arrival(report, packet, plan)
-            if arrived is None:
-                continue
-            jobs.append(
-                self.comm.submit_job(
-                    channel,
-                    arrived,
-                    Direction.DECRYPT,
+            else:
+                arrived = self._rx_arrival(report, packet, plan)
+                if arrived is None:
+                    continue
+                job = yield from self._submit_gated(
+                    channel, arrived, controller,
+                    direction=Direction.DECRYPT,
                     nonce=plan.nonce,
                     tag=plan.tag,
                 )
-            )
+            if job is not None:
+                jobs.append(job)
         yield from self.comm.flush_now(channel)
         for job in jobs:
             if job.transfer is None:

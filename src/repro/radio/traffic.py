@@ -9,6 +9,7 @@ into the discrete-event simulation.
 from __future__ import annotations
 
 import enum
+import math
 import random
 from dataclasses import dataclass
 from typing import Iterator, List
@@ -23,6 +24,8 @@ class TrafficPattern(enum.Enum):
     SATURATING = "saturating"   # next packet as soon as possible
     CBR = "cbr"                 # constant bit rate at the nominal rate
     BURSTY = "bursty"           # geometric bursts with idle gaps
+    POISSON = "poisson"         # exponential interarrivals at the rate
+    DIURNAL = "diurnal"         # Poisson with a day-shaped rate curve
 
 
 @dataclass(frozen=True)
@@ -80,6 +83,24 @@ class TrafficGenerator:
                 cycle += 1
             elif self.pattern is TrafficPattern.CBR:
                 cycle += self._interarrival_cycles()
+            elif self.pattern is TrafficPattern.POISSON:
+                # Memoryless arrivals at the nominal rate: exponential
+                # interarrival around the CBR gap (seeded, so the
+                # schedule is a pure function of (seed, channel)).
+                mean = self._interarrival_cycles()
+                cycle += max(1, int(self._rng.expovariate(1.0 / mean)))
+            elif self.pattern is TrafficPattern.DIURNAL:
+                # A "day" compressed into the schedule: the arrival
+                # rate follows one raised-cosine period across the
+                # packet count, peaking mid-schedule at the nominal
+                # rate and troughing at a fifth of it — Poisson jitter
+                # on top.  Deterministic like every other pattern.
+                mean = self._interarrival_cycles()
+                phase = seq / max(1, count)
+                load = 0.2 + 0.8 * (0.5 - 0.5 * math.cos(2 * math.pi * phase))
+                cycle += max(
+                    1, int(self._rng.expovariate(load / mean))
+                )
             else:  # BURSTY
                 if burst_left > 0:
                     burst_left -= 1

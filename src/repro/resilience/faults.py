@@ -288,8 +288,9 @@ def plan_from_spec(text: str) -> Optional[FaultPlan]:
         name = name.strip().lower()
         if name not in ("seed", "stall", "hang", "slow") and name not in SITES:
             raise ValueError(
-                f"unknown REPRO_FAULTS key {name!r}; valid: seed, hang, "
-                f"slow, stall, {', '.join(SITES)}"
+                f"unknown REPRO_FAULTS key {name!r} (in token {part!r}); "
+                f"valid sites: {', '.join(SITES)}; "
+                "valid knobs: seed, hang, slow, stall"
             )
         try:
             if name in ("seed", "stall"):
@@ -300,7 +301,9 @@ def plan_from_spec(text: str) -> Optional[FaultPlan]:
                 rates[name] = float(value)
         except ValueError:
             raise ValueError(
-                f"bad REPRO_FAULTS value in {part!r}; use e.g. "
+                f"bad REPRO_FAULTS value {value!r} in token {part!r}; "
+                f"sites ({', '.join(SITES)}) and hang/slow take a float, "
+                "seed/stall take an int — e.g. "
                 "'worker_crash=0.2,batch_error=0.1,seed=7'"
             ) from None
         seed = knobs.get("seed", 0)

@@ -13,6 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.resilience.breaker import BreakerPolicy
+
 
 @dataclass(frozen=True)
 class ResiliencePolicy:
@@ -33,6 +35,12 @@ class ResiliencePolicy:
     #: Whether retry exhaustion may fall through to the backend's
     #: fallback (process → thread → inline) instead of raising.
     degrade: bool = True
+    #: Circuit-breaker budget (None = no breaker): repeated span
+    #: failures trip it and new spans start on the fallback until
+    #: half-open probes succeed — the proactive, *recoverable*
+    #: complement to sticky chain degradation
+    #: (:mod:`repro.resilience.breaker`).
+    breaker: Optional[BreakerPolicy] = None
 
     def __post_init__(self) -> None:
         if self.max_retries < 0:

@@ -28,6 +28,9 @@ _COUNTERS = {
     "quarantined": 0,
     "dead_lettered": 0,
     "faults_injected": 0,
+    "breaker_trips": 0,
+    "breaker_bypasses": 0,
+    "breaker_recoveries": 0,
 }
 
 #: Degradation reasons in the order they were recorded (process-wide).
@@ -71,6 +74,21 @@ def record_fault(count: int = 1) -> None:
     _bump("faults_injected", count)
 
 
+def record_breaker_trip() -> None:
+    """A backend circuit breaker tripped OPEN."""
+    _bump("breaker_trips")
+
+
+def record_breaker_bypass() -> None:
+    """An OPEN breaker routed one span around its sick backend."""
+    _bump("breaker_bypasses")
+
+
+def record_breaker_recovery() -> None:
+    """A HALF_OPEN breaker closed after successful probes."""
+    _bump("breaker_recoveries")
+
+
 def snapshot() -> Dict[str, object]:
     """JSON-safe copy of the counters (plus degradation reasons)."""
     with _LOCK:
@@ -105,6 +123,9 @@ __all__ = [
     "record_quarantine",
     "record_dead_letter",
     "record_fault",
+    "record_breaker_trip",
+    "record_breaker_bypass",
+    "record_breaker_recovery",
     "snapshot",
     "delta",
     "reset",

@@ -1,0 +1,161 @@
+"""Exact nearest-rank percentiles and the SLA spec built on them."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.latency import (
+    nearest_rank_percentile,
+    nearest_rank_percentiles,
+)
+from repro.analysis.throughput import (
+    CLOCK_HZ_DEFAULT,
+    ClassSla,
+    SlaSpec,
+    WorkloadReport,
+)
+
+
+class TestNearestRankPercentile:
+    def test_textbook_example(self):
+        # The canonical nearest-rank worked example: 5 samples,
+        # p30 -> rank ceil(0.3 * 5) = 2 -> second smallest.
+        sample = [15, 20, 35, 40, 50]
+        assert nearest_rank_percentile(sample, 0.30) == 20
+        assert nearest_rank_percentile(sample, 0.40) == 20
+        assert nearest_rank_percentile(sample, 0.50) == 35
+        assert nearest_rank_percentile(sample, 1.00) == 50
+
+    def test_always_returns_an_observed_value(self):
+        sample = [3, 1, 4, 1, 5, 9, 2, 6]
+        for q in (0.01, 0.25, 0.5, 0.75, 0.99, 0.999, 1.0):
+            assert nearest_rank_percentile(sample, q) in sample
+
+    def test_single_sample(self):
+        assert nearest_rank_percentile([42], 0.5) == 42
+        assert nearest_rank_percentile([42], 0.999) == 42
+
+    def test_unsorted_input_is_sorted_internally(self):
+        assert nearest_rank_percentile([9, 1, 5], 0.5) == 5
+
+    def test_small_sample_p99_is_the_maximum(self):
+        # With n < 100, ceil(0.99 * n) == n: p99 of a small sample is
+        # its max — a real packet, not an interpolated average.
+        sample = list(range(10))
+        assert nearest_rank_percentile(sample, 0.99) == 9
+
+    def test_empty_sample_is_zero(self):
+        assert nearest_rank_percentile([], 0.99) == 0.0
+
+    @pytest.mark.parametrize("q", [0.0, -0.1, 1.5])
+    def test_fraction_out_of_range_rejected(self, q):
+        with pytest.raises(ValueError, match="percentile fraction"):
+            nearest_rank_percentile([1, 2], q)
+
+    def test_batch_helper_matches_single_cuts(self):
+        sample = [7, 3, 11, 2, 19, 5]
+        cuts = nearest_rank_percentiles(sample, (0.5, 0.99, 0.999))
+        for q, value in cuts.items():
+            assert value == nearest_rank_percentile(sample, q)
+
+    def test_batch_helper_rejects_bad_fraction(self):
+        with pytest.raises(ValueError, match="percentile fraction"):
+            nearest_rank_percentiles([1], (0.5, 0.0))
+
+
+def _report(**kwargs):
+    report = WorkloadReport(total_cycles=1000, packets_done=0, payload_bytes=0)
+    for name, value in kwargs.items():
+        setattr(report, name, value)
+    return report
+
+
+class TestWorkloadReportSla:
+    def test_class_percentile_uses_nearest_rank(self):
+        cycles = [100, 200, 300, 400]
+        report = _report(per_class_latencies={0: cycles})
+        expected = (
+            nearest_rank_percentile(cycles, 0.99) / CLOCK_HZ_DEFAULT * 1e6
+        )
+        assert report.class_percentile_us(0, 0.99) == expected
+
+    def test_drop_fraction_is_shed_over_offered(self):
+        report = _report(
+            per_class_latencies={2: [100] * 6},
+            admitted_by_class={2: 6},
+            shed_by_class={2: 2},
+        )
+        assert report.drop_fraction(2) == pytest.approx(0.25)
+
+    def test_sla_passes_inside_budget(self):
+        report = _report(per_class_latencies={0: [190] * 10})  # 1us each
+        spec = SlaSpec(classes={0: ClassSla(p99_us=5.0, min_completed=5)})
+        assert spec.violations(report) == []
+        assert report.check_sla(spec) == []
+
+    def test_latency_budget_violation_names_class_and_cut(self):
+        # 190 000 cycles at 190MHz = 1000us, over a 10us p99 budget.
+        report = _report(per_class_latencies={0: [190_000] * 4})
+        spec = SlaSpec(classes={0: ClassSla(p99_us=10.0)})
+        (violation,) = spec.violations(report)
+        assert "control" in violation
+        assert "p99" in violation
+        assert "over budget" in violation
+
+    def test_min_completed_blocks_vacuous_pass(self):
+        report = _report()  # no samples at all
+        spec = SlaSpec(classes={0: ClassSla(p99_us=10.0, min_completed=1)})
+        (violation,) = spec.violations(report)
+        assert "only 0 completed" in violation
+
+    def test_drop_budget_violation(self):
+        report = _report(
+            per_class_latencies={2: [100]},
+            admitted_by_class={2: 1},
+            shed_by_class={2: 1},
+        )
+        spec = SlaSpec(classes={2: ClassSla(max_drop_fraction=0.1)})
+        (violation,) = spec.violations(report)
+        assert "drop fraction" in violation and "bulk" in violation
+
+    def test_run_level_budgets(self):
+        report = _report(auth_failures=2, dead_lettered=1)
+        spec = SlaSpec(max_auth_failures=0, max_dead_lettered=0)
+        violations = spec.violations(report)
+        assert any("auth failures 2" in v for v in violations)
+        assert any("dead-lettered 1" in v for v in violations)
+
+    def test_shed_is_not_a_latency_or_auth_violation(self):
+        # Shed traffic lives in its own budget: a report that shed
+        # packets but completed its control traffic inside budget only
+        # violates a drop-fraction cap, never the auth/dead-letter caps.
+        report = _report(
+            per_class_latencies={0: [190] * 4, 2: [190] * 4},
+            admitted_by_class={0: 4, 2: 4},
+            shed_by_class={2: 4},
+        )
+        spec = SlaSpec(
+            classes={
+                0: ClassSla(p99_us=5.0, max_drop_fraction=0.0),
+                2: ClassSla(max_drop_fraction=0.25),
+            },
+            max_auth_failures=0,
+            max_dead_lettered=0,
+        )
+        violations = spec.violations(report)
+        (violation,) = violations
+        assert "bulk: drop fraction" in violation
+
+    def test_violations_ordered_most_important_class_first(self):
+        report = _report(
+            per_class_latencies={0: [190_000], 2: [190_000]},
+        )
+        spec = SlaSpec(
+            classes={
+                2: ClassSla(p99_us=1.0),
+                0: ClassSla(p99_us=1.0),
+            }
+        )
+        first, second = spec.violations(report)
+        assert first.startswith("control")
+        assert second.startswith("bulk")

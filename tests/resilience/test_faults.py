@@ -144,6 +144,25 @@ class TestSpecParsing:
         with pytest.raises(ValueError, match="bad REPRO_FAULTS value"):
             plan_from_spec("worker_crash=often")
 
+    def test_unknown_key_error_lists_every_site_and_the_token(self):
+        with pytest.raises(ValueError) as excinfo:
+            plan_from_spec("worker_crash=0.2,volcano=0.5")
+        message = str(excinfo.value)
+        for site in SITES:
+            assert site in message
+        assert "'volcano'" in message
+        assert "'volcano=0.5'" in message  # the offending token verbatim
+        assert "seed, hang, slow, stall" in message
+
+    def test_bad_value_error_lists_every_site_and_the_token(self):
+        with pytest.raises(ValueError) as excinfo:
+            plan_from_spec("batch_error=lots")
+        message = str(excinfo.value)
+        for site in SITES:
+            assert site in message
+        assert "'lots'" in message
+        assert "'batch_error=lots'" in message
+
     def test_env_seeds_the_process_plan(self, monkeypatch):
         monkeypatch.setenv("REPRO_FAULTS", "key_error=0.25,seed=11")
         set_fault_plan(None)  # force a re-read of the environment
