@@ -90,7 +90,7 @@ def main(argv=None) -> Path:
                 )
         # Backend-parametrized batch kernels: speedup over the inline
         # batch kernel with the same packets (the CI gate's numbers).
-        pooled = re.fullmatch(r"(.+_batch\d+)_(thread|process)_fast", name)
+        pooled = re.fullmatch(r"(.+_batch\d+)_(thread|process|arena)_fast", name)
         if pooled and f"{pooled[1]}_fast" in results:
             base = results[f"{pooled[1]}_fast"]["ops_per_s"]
             if base:
@@ -118,6 +118,7 @@ def main(argv=None) -> Path:
     # *_thread/*_process kernels are meaningless without the worker
     # and CPU counts (a 1-CPU runner can never beat inline).
     process_backend = bench_backend("process")
+    arena_backend = bench_backend("process-arena")
     snapshot = {
         "date": _dt.date.today().isoformat(),
         "python": platform.python_version(),
@@ -131,6 +132,10 @@ def main(argv=None) -> Path:
             "process": process_backend.workers,
         },
         "process_degraded": process_backend.degraded_reason,
+        # The *_arena kernels are meaningless without knowing whether
+        # the shared-memory dataplane actually engaged on this host.
+        "arena_active": arena_backend.dispatch_arena() is not None,
+        "arena_degraded": arena_backend.arena_degraded_reason,
         "cpu_count": os.cpu_count(),
         # Recovery counters accrued while benchmarking: a non-zero
         # retry/degradation count here flags that the timing numbers

@@ -88,6 +88,12 @@ class WorkloadReport:
     #: Injected faults that fired during the run (best-effort count:
     #: faults inside shared-nothing process workers tally locally).
     faults_injected: int = 0
+    #: AES key-schedule rebuilds observed inside arena dispatch workers
+    #: during the run.  With persistent warm-cache workers this is zero
+    #: in steady state — each worker expands a key once, then serves
+    #: every later batch from its warm schedule until a rekey epoch
+    #: bump invalidates exactly that key.
+    key_schedule_expansions: int = 0
     # -- overload protection / SLA accounting ---------------------------
     #: Per-priority-class latency samples (cycles); the feed for the
     #: p50/p99/p999 SLA percentiles.  Keys are priority integers

@@ -131,6 +131,11 @@ from repro.crypto.fast.bulk import (  # noqa: E402
     gcm_open,
     gcm_seal,
 )
+from repro.crypto.fast.arena import (  # noqa: E402
+    PacketArena,
+    bump_key_epoch,
+    key_epoch,
+)
 from repro.crypto.fast.batch import (  # noqa: E402
     cbc_mac_many,
     ccm_open_many,
@@ -178,6 +183,9 @@ __all__ = [
     "gcm_open_many",
     "gmac_many",
     "seal_open_many",
+    "PacketArena",
+    "key_epoch",
+    "bump_key_epoch",
     "ExecutionBackend",
     "InlineBackend",
     "ThreadPoolBackend",

@@ -22,11 +22,22 @@ Three implementations:
   worker starts with cold memo caches (the pool initializer and the
   ``os.register_at_fork`` hook in :mod:`repro.crypto.fast` both call
   ``clear_caches``) and rebuilds them lazily, so a fork can never
-  observe a cache mid-mutation.  Arguments must pickle; the batch
-  layer normalises scatter-gather packets to plain bytes before
-  sharding.  Where child processes are impossible (daemonic workers of
-  an outer multiprocessing pool, sandboxed runners) the backend
-  degrades to inline execution and records why in
+  observe a cache mid-mutation.  Two dataplanes share the pool:
+
+  - the **arena dataplane** (default): payloads live in a
+    shared-memory packet arena (:mod:`repro.crypto.fast.arena`) and
+    shard calls pickle only span descriptors; workers stay warm
+    across dispatches, so key-schedule/H-power caches persist
+    (:attr:`ProcessPoolBackend.worker_expansions` counts rebuilds).
+  - the **pickling dataplane**: arguments pickle in full — the
+    fallback whenever shared memory is unavailable
+    (:attr:`ProcessPoolBackend.arena_degraded_reason` records why,
+    structurally, results byte-identical), or on request
+    (``REPRO_ARENA=0`` / the ``process-pickle`` spec).
+
+  Where child processes are impossible (daemonic workers of an outer
+  multiprocessing pool, sandboxed runners) the backend degrades to
+  inline execution and records why in
   :attr:`ProcessPoolBackend.degraded_reason` rather than failing the
   dispatch.
 
@@ -63,10 +74,11 @@ what correct calls compute.
 
 Selection: ``REPRO_BACKEND`` in the environment (``inline``,
 ``thread``/``thread:N``, ``process``/``process:N`` with ``N`` worker
-cap) seeds the process-wide default; every ``backend=`` parameter up
-the stack (``*_many`` APIs, ``Mccp.dispatch_jobs``,
-``SdrPlatform.run_workload``) accepts a backend instance, a spec
-string, or ``None`` for the default.
+cap; ``process-arena``/``process-pickle`` pin the process dataplane,
+and ``REPRO_ARENA=0`` flips bare ``process`` to pickling) seeds the
+process-wide default; every ``backend=`` parameter up the stack
+(``*_many`` APIs, ``Mccp.dispatch_jobs``, ``SdrPlatform.run_workload``)
+accepts a backend instance, a spec string, or ``None`` for the default.
 """
 
 from __future__ import annotations
@@ -685,7 +697,9 @@ class ProcessPoolBackend(ExecutionBackend):
     name = "process"
     supports_shared_state = False
 
-    def __init__(self, workers: Optional[int] = None):
+    def __init__(
+        self, workers: Optional[int] = None, arena: Optional[bool] = None
+    ):
         super().__init__()
         if workers is not None and workers < 1:
             raise ValueError(f"process backend needs >= 1 worker, got {workers}")
@@ -698,12 +712,61 @@ class ProcessPoolBackend(ExecutionBackend):
         #: impossible here, full stop — distinct from the crash-driven
         #: chain degradation recorded in :attr:`degradations`.
         self.degraded_reason: Optional[str] = None
+        #: Arena dataplane switch: True/False pin it; None follows
+        #: ``REPRO_ARENA`` (default on).
+        self._arena_requested = (
+            _env_arena_default() if arena is None else bool(arena)
+        )
+        self._arena = None
+        #: Why arena dispatches fell back to the pickling dataplane
+        #: (None = they have not).  Structural and sticky, like
+        #: :attr:`degraded_reason`: shared memory is unusable on this
+        #: host, results stay byte-identical over pickling.
+        self.arena_degraded_reason: Optional[str] = None
+        #: Key-schedule expansions reported by arena shard workers —
+        #: the warm-cache observable: a steady-state same-key storm
+        #: stops incrementing this once every worker has expanded the
+        #: key once, and a rekey adds at most one per worker.
+        self.worker_expansions = 0
 
     @property
     def workers(self) -> int:
         if self.degraded_reason is not None:
             return 1
         return self._requested or (os.cpu_count() or 1)
+
+    def dispatch_arena(self):
+        """The packet arena for descriptor-based dispatches, or None.
+
+        None routes the caller to the pickling dataplane: the arena is
+        off (``REPRO_ARENA=0`` / ``process-pickle`` / ``arena=False``),
+        this backend cannot run concurrent workers anyway (degraded or
+        single-worker — descriptors would only add indirection), or
+        shared memory turned out to be unusable here, in which case
+        :attr:`arena_degraded_reason` records why, exactly once.
+        """
+        if (
+            not self._arena_requested
+            or self._degraded_to is not None
+            or self.arena_degraded_reason is not None
+            or self.workers <= 1
+        ):
+            return None
+        if self._arena is None:
+            try:
+                from repro.crypto.fast.arena import PacketArena
+
+                self._arena = PacketArena()
+            except Exception as exc:
+                self.arena_degraded_reason = (
+                    f"shared-memory arena unavailable: {exc}"
+                )
+                return None
+        return self._arena
+
+    def record_worker_expansions(self, count: int) -> None:
+        """Tally key-schedule expansions a collected dispatch reported."""
+        self.worker_expansions += count
 
     def fallback(self) -> Optional[ExecutionBackend]:
         """Degrade to threads first: overlap survives a broken pool."""
@@ -808,6 +871,9 @@ class ProcessPoolBackend(ExecutionBackend):
             self._pool = None
         if self._fallback is not None:
             self._fallback.close()
+        if self._arena is not None:
+            self._arena.close()
+            self._arena = None
 
 
 #: Shared inline singleton: shard workers execute through this so a
@@ -815,11 +881,20 @@ class ProcessPoolBackend(ExecutionBackend):
 INLINE = InlineBackend()
 
 
+def _env_arena_default() -> bool:
+    """Whether bare ``process`` backends use the arena (``REPRO_ARENA``)."""
+    text = os.environ.get("REPRO_ARENA", "1").strip().lower()
+    return text not in ("0", "off", "false", "no", "pickle")
+
+
 def make_backend(spec: Union[ExecutionBackend, str]) -> ExecutionBackend:
     """Build a backend from a spec: instance, or ``name[:workers]``.
 
     Accepted names: ``inline``, ``thread``, ``process`` (a ``:N``
-    suffix caps the worker count, e.g. ``thread:4``).
+    suffix caps the worker count, e.g. ``thread:4``).  The process
+    dataplane can be pinned regardless of ``REPRO_ARENA``:
+    ``process-arena`` forces the shared-memory arena and
+    ``process-pickle`` forces per-call pickling.
     """
     if isinstance(spec, ExecutionBackend):
         return spec
@@ -839,9 +914,14 @@ def make_backend(spec: Union[ExecutionBackend, str]) -> ExecutionBackend:
         return ThreadPoolBackend(workers)
     if name in ("process", "processes", "processpool"):
         return ProcessPoolBackend(workers)
+    if name in ("process-arena", "process_arena"):
+        return ProcessPoolBackend(workers, arena=True)
+    if name in ("process-pickle", "process_pickle"):
+        return ProcessPoolBackend(workers, arena=False)
     raise ValueError(
         f"unknown execution backend {spec!r}; valid: inline, "
-        "thread[:N], process[:N] (REPRO_BACKEND uses the same syntax)"
+        "thread[:N], process[:N], process-arena[:N], process-pickle[:N] "
+        "(REPRO_BACKEND uses the same syntax)"
     )
 
 

@@ -210,6 +210,57 @@ def measure_pipelined(
     }
 
 
+def measure_chaos_identity(width: int) -> dict:
+    """Worker-crash chaos leg shared with ``benchmarks/gate_backends.py``.
+
+    Injects one scripted ``worker_crash`` while an arena slab is in
+    flight on the process backend and replays the radio CCM stream on
+    both dataplanes.  Per dataplane: ``identical`` pins the surviving
+    transcript (sequence, payload, tag, ok) byte-for-byte against a
+    no-fault inline run, ``slab_reclaimed`` pins the arena generation
+    count back at zero — a crash must cost a retry, never bytes or
+    shared-memory segments.  Both fail the gate hard anywhere.
+    """
+    from repro.crypto.fast.exec import ProcessPoolBackend, ResiliencePolicy
+    from repro.resilience import FaultPlan, ScriptedFault, set_fault_plan
+
+    def _transcript(backend, pipelined, plan=None):
+        previous = set_fault_plan(plan)
+        try:
+            sim, comm, channel, packets = _radio_ccm_setup(
+                width, PIPELINE_STREAM_PACKETS, backend, pipelined
+            )
+            _radio_ccm_round(sim, comm, channel, packets)
+            return [
+                (t.job.sequence, t.payload, t.tag, t.ok)
+                for t in comm.completed.values()
+            ]
+        finally:
+            set_fault_plan(previous)
+
+    results = {}
+    for pipelined in (False, True):
+        baseline = _transcript(None, pipelined)
+        # A fresh backend per leg: the crash may stick a degradation to
+        # the instance, which must never leak into the shared bench
+        # pools resolve_backend memoizes.
+        backend = ProcessPoolBackend(workers=2, arena=True)
+        backend.resilience = ResiliencePolicy(
+            max_retries=2, backoff_base=0.0, backoff_cap=0.0
+        )
+        plan = FaultPlan(scripted=(ScriptedFault("worker_crash", times=1),))
+        try:
+            chaotic = _transcript(backend, pipelined, plan)
+        finally:
+            arena = backend._arena
+            backend.close()
+        results["pipelined" if pipelined else "batched"] = {
+            "identical": chaotic == baseline,
+            "slab_reclaimed": arena is None or arena.live_generations == 0,
+        }
+    return results
+
+
 def _kernel_events() -> int:
     sim = Simulator()
 
@@ -269,6 +320,16 @@ def build_kernels() -> Dict[str, Callable[[], object]]:
         "ccm_2kb_batch32_process_fast": lambda: ccm_seal_many(
             KEY, CCM_BATCH, 8, backend=bench_backend("process")
         ),
+        # Dataplane-pinned process twins: `_arena_` ships descriptors
+        # over a shared-memory slab (zero payload pickling), the plain
+        # `_process_` kernel above rides the backend default.  The CI
+        # gate requires arena >= 1.5x the pickling path on >= 4 CPUs.
+        "gcm_2kb_batch32_arena_fast": lambda: gcm_seal_many(
+            KEY, GCM_BATCH, 16, backend=bench_backend("process-arena")
+        ),
+        "ccm_2kb_batch32_arena_fast": lambda: ccm_seal_many(
+            KEY, CCM_BATCH, 8, backend=bench_backend("process-arena")
+        ),
         # End-to-end radio dataplane: one op = enqueue + flush through
         # the MCCP channel layer (sequential width-1 vs coalesced 32,
         # plus the coalesced dispatch on the thread backend).
@@ -276,6 +337,9 @@ def build_kernels() -> Dict[str, Callable[[], object]]:
         "radio_ccm_2kb_batch32_fast": _radio_ccm_dataplane(32, BATCH_PACKETS),
         "radio_ccm_2kb_batch32_thread_fast": _radio_ccm_dataplane(
             32, BATCH_PACKETS, backend="thread"
+        ),
+        "radio_ccm_2kb_batch32_arena_fast": _radio_ccm_dataplane(
+            32, BATCH_PACKETS, backend="process-arena"
         ),
         # Pipelined twins: same dataplane in async submit/reap mode,
         # streaming PIPELINE_STREAM_PACKETS (4 batches) per op so the
@@ -314,9 +378,12 @@ KERNEL_NAMES = (
     "gcm_2kb_batch32_thread_fast",
     "ccm_2kb_batch32_thread_fast",
     "ccm_2kb_batch32_process_fast",
+    "gcm_2kb_batch32_arena_fast",
+    "ccm_2kb_batch32_arena_fast",
     "radio_ccm_2kb_fast",
     "radio_ccm_2kb_batch32_fast",
     "radio_ccm_2kb_batch32_thread_fast",
+    "radio_ccm_2kb_batch32_arena_fast",
     "radio_ccm_2kb_batch32_pipelined_thread_fast",
     "radio_ccm_2kb_batch32_pipelined_process_fast",
     "sim_kernel_8k_events",
@@ -368,11 +435,16 @@ def correctness_check(name: str) -> bool:
         reference = ccm_encrypt(KEY, CCM_BATCH[0][0], PACKET, b"", 8, False)
         return batch == sequential and batch[0] == reference
     backend_kernel = re.fullmatch(
-        r"(gcm|ccm)_2kb_batch32_(thread|process)_fast", name
+        r"(gcm|ccm)_2kb_batch32_(thread|process|arena)_fast", name
     )
     if backend_kernel:
-        # The sharded batch must merge byte-identical to the inline run.
-        backend = bench_backend(backend_kernel[2])
+        # The sharded batch must merge byte-identical to the inline run
+        # (the arena kernel additionally crosses the descriptor
+        # dataplane: payloads come back out of the shared-memory slab).
+        spec = {"arena": "process-arena"}.get(
+            backend_kernel[2], backend_kernel[2]
+        )
+        backend = bench_backend(spec)
         if backend_kernel[1] == "gcm":
             inline = gcm_seal_many(KEY, GCM_BATCH, 16)
             return gcm_seal_many(KEY, GCM_BATCH, 16, backend=backend) == inline
@@ -382,6 +454,7 @@ def correctness_check(name: str) -> bool:
         "radio_ccm_2kb_fast",
         "radio_ccm_2kb_batch32_fast",
         "radio_ccm_2kb_batch32_thread_fast",
+        "radio_ccm_2kb_batch32_arena_fast",
         "radio_ccm_2kb_batch32_pipelined_thread_fast",
         "radio_ccm_2kb_batch32_pipelined_process_fast",
     ):
@@ -395,6 +468,8 @@ def correctness_check(name: str) -> bool:
         backend = None
         if name.endswith("_thread_fast"):
             backend = "thread"
+        elif name.endswith("_arena_fast"):
+            backend = "process-arena"
         elif name.endswith("_process_fast"):
             backend = "process"
         npackets = PIPELINE_STREAM_PACKETS if pipelined else BATCH_PACKETS

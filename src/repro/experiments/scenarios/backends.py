@@ -2,7 +2,9 @@
 
 One case = one coalesce width: a mixed seal+open 2 KB packet batch runs
 through :func:`repro.crypto.fast.batch.seal_open_many` on the inline,
-thread and process backends, measuring packets/s each way.  The
+thread and process backends — the process leg twice, once on the
+default shared-memory arena dataplane and once pinned to the legacy
+payload-pickling path — measuring packets/s each way.  The
 ``correct`` bool (deterministic — baseline comparison fails hard on it)
 pins all three backends byte-identical; the packets/s numbers and the
 derived speedups are timing metrics, so drift warns.  CI's dedicated
@@ -64,7 +66,12 @@ def measure_backends(width: int, window: float, seed: int = 0) -> dict:
     backends = {
         "inline": InlineBackend(),
         "thread": ThreadPoolBackend(),
+        # "process" rides the backend default dataplane (the
+        # shared-memory arena unless REPRO_ARENA opts out);
+        # "process_pickle" pins the payload-pickling path so the
+        # arena's win over it stays a measured, gateable number.
         "process": ProcessPoolBackend(),
+        "process_pickle": ProcessPoolBackend(arena=False),
     }
     try:
         outputs = {}
@@ -80,16 +87,19 @@ def measure_backends(width: int, window: float, seed: int = 0) -> dict:
                 window,
             )
             rates[name] = ops_per_s * width
+        process = backends["process"]
         return {
-            "correct": (
-                outputs["inline"] == outputs["thread"] == outputs["process"]
+            "correct": all(
+                output == outputs["inline"] for output in outputs.values()
             ),
             "rates": rates,
             "workers": {
                 name: backend.workers for name, backend in backends.items()
             },
             "cpu_count": os.cpu_count() or 1,
-            "process_degraded": backends["process"].degraded_reason or "",
+            "process_degraded": process.degraded_reason or "",
+            "arena_active": process.dispatch_arena() is not None,
+            "arena_degraded": process.arena_degraded_reason or "",
         }
     finally:
         for backend in backends.values():
@@ -109,15 +119,19 @@ def measure_backends(width: int, window: float, seed: int = 0) -> dict:
         "inline_pps",
         "thread_pps",
         "process_pps",
+        "process_pickle_pps",
         "thread_speedup",
         "process_speedup",
+        "arena_speedup_over_pickle",
+        "arena_active",
+        "arena_degraded",
         "workers",
         "cpu_count",
         "process_degraded",
     ),
 )
 def backend_sweep(params, seed, quick):
-    """Measure one width on all three backends; verify byte equality."""
+    """Measure one width on every backend leg; verify byte equality."""
     measured = measure_backends(params["width"], 0.01 if quick else 0.2, seed)
     rates = measured["rates"]
     return {
@@ -125,8 +139,14 @@ def backend_sweep(params, seed, quick):
         "inline_pps": round(rates["inline"], 2),
         "thread_pps": round(rates["thread"], 2),
         "process_pps": round(rates["process"], 2),
+        "process_pickle_pps": round(rates["process_pickle"], 2),
         "thread_speedup": round(rates["thread"] / rates["inline"], 3),
         "process_speedup": round(rates["process"] / rates["inline"], 3),
+        "arena_speedup_over_pickle": round(
+            rates["process"] / rates["process_pickle"], 3
+        ),
+        "arena_active": measured["arena_active"],
+        "arena_degraded": measured["arena_degraded"],
         "workers": measured["workers"]["thread"],
         "cpu_count": measured["cpu_count"],
         "process_degraded": measured["process_degraded"],

@@ -123,6 +123,13 @@ class PacketJob:
     ``aad``/``tag``) are what the engines consume; the accounting
     fields let completions fan back out to per-packet records with
     correct latency attribution.
+
+    The payload fields are deliberately buffer-friendly: the batch
+    layer treats ``data``/``aad`` as read-only bytes-likes, so the
+    arena dataplane (:mod:`repro.crypto.fast.arena`) can copy them
+    once into a shared-memory slab and hand workers offset/length
+    descriptors instead of pickling payload bytes per dispatch.
+    Nothing downstream mutates these fields in place.
     """
 
     direction: Direction

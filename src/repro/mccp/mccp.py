@@ -557,8 +557,16 @@ class Mccp:
         results stay byte-identical to the fault-free run.  Only
         genuine tag-verification failures count toward
         :attr:`Channel.auth_failures`.
+
+        The dispatch is tagged with ``key_ref=(key_id, epoch)`` so the
+        arena dataplane's persistent workers can keep their per-key
+        warm caches honest: :meth:`repro.mccp.key_scheduler
+        .KeyScheduler.invalidate` bumps the epoch on rekey, and workers
+        drop exactly the rotated key's warm record (results never
+        depend on this — it is purely a cache-invalidation signal).
         """
         from repro.crypto.fast import batch as fast_batch
+        from repro.crypto.fast.arena import key_epoch
 
         plan = _faults.active_plan()
         if plan is not None:
@@ -589,6 +597,7 @@ class Mccp:
             channel.tag_length,
             backend=backend,
             isolate=True,
+            key_ref=(channel.key_id, key_epoch(channel.key_id)),
         )
         return DispatchHandle(
             self, channel, list(batch), seal_indices, open_indices, handle

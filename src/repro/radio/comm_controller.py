@@ -151,7 +151,11 @@ class CommController:
         self.pipelined = False
         #: Dispatches one channel may keep in flight before its drain
         #: blocks to reap the oldest (bounds handle memory and keeps
-        #: backpressure honest).
+        #: backpressure honest).  Under the arena dataplane each
+        #: in-flight dispatch also pins one arena generation (its slab
+        #: region stays reserved until the handle is reaped), so this
+        #: bound doubles as the arena's high-water mark: slab footprint
+        #: is at most ``pipeline_depth`` generations per channel.
         self.pipeline_depth = 2
         #: Per-channel FIFO of submitted-but-uncollected dispatches;
         #: the FIFO *is* the in-order fan-out guarantee.

@@ -63,7 +63,7 @@ from typing import List, Optional, Sequence
 
 from repro.analysis.throughput import WorkloadReport
 from repro.core.params import Algorithm, Direction
-from repro.crypto.fast.exec import BackendSpec
+from repro.crypto.fast.exec import BackendSpec, resolve_backend
 from repro.errors import BackpressureError, NoResourceError
 from repro.mccp.channel import Channel, FlushPolicy
 from repro.mccp.key_memory import KeyMemory
@@ -199,6 +199,19 @@ def _arrived_packet(item: GeneratedPacket, now: int) -> Packet:
     return replace(item.packet, created_cycle=now)
 
 
+def _worker_expansions(comm) -> int:
+    """Cumulative arena-worker key-schedule expansions for *comm*'s backend.
+
+    Arena dispatch shards report the ``expand_key_cached`` misses each
+    one observed; the process backend accumulates them in
+    ``worker_expansions``.  Backends without the counter (inline,
+    thread — their expansions land in the shared parent LRU and are
+    not per-worker events) read as zero.
+    """
+    backend = resolve_backend(comm.backend)
+    return getattr(backend, "worker_expansions", 0)
+
+
 class _RunAccounting:
     """Snapshot of the platform-cumulative counters one run starts from.
 
@@ -224,6 +237,7 @@ class _RunAccounting:
         # Resilience counters are process-wide (recovery fires deep in
         # the backend layer); the before/after delta is this run's.
         self.base_resilience = resilience_stats.snapshot()
+        self.base_worker_expansions = _worker_expansions(comm)
 
     def fill(
         self,
@@ -256,6 +270,9 @@ class _RunAccounting:
         report.quarantined = accrued["quarantined"]
         report.dead_lettered = accrued["dead_lettered"]
         report.faults_injected = accrued["faults_injected"]
+        report.key_schedule_expansions = (
+            _worker_expansions(comm) - self.base_worker_expansions
+        )
         report.breaker_trips = accrued["breaker_trips"]
         report.breaker_bypasses = accrued["breaker_bypasses"]
         report.breaker_recoveries = accrued["breaker_recoveries"]
@@ -417,7 +434,6 @@ class SdrPlatform:
             if spec.admission is not None
             else None
         )
-        accounting = _RunAccounting(self)
         previous_backend = self.comm.backend
         previous_pipeline = (self.comm.pipelined, self.comm.pipeline_depth)
         if backend is not None:
@@ -425,6 +441,10 @@ class SdrPlatform:
         self.comm.pipelined = dataplane == "pipelined"
         self.comm.pipeline_depth = spec.pipeline_depth
         self.comm.pipeline_in_flight_peak = 0
+        # Snapshot *after* the spec's backend override is installed and
+        # fill *before* the finally restores it: the worker-expansion
+        # counter lives on the backend the run actually dispatched to.
+        accounting = _RunAccounting(self)
         try:
             self._launch_channels(
                 configs, dataplane, flush_policy, report, done_events,
@@ -433,10 +453,10 @@ class SdrPlatform:
             )
             for event in done_events:
                 self.sim.run_until_event(event, limit=limit)
+            return accounting.fill(report, channels, controller)
         finally:
             self.comm.backend = previous_backend
             self.comm.pipelined, self.comm.pipeline_depth = previous_pipeline
-        return accounting.fill(report, channels, controller)
 
     def _launch_channels(
         self,

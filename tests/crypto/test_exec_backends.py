@@ -52,14 +52,27 @@ def thread_backend():
 
 @pytest.fixture(scope="module")
 def process_backend():
-    backend = ProcessPoolBackend(workers=2)
+    # Pinned to the pickling dataplane so the matrix exercises it even
+    # with the arena on by default.
+    backend = ProcessPoolBackend(workers=2, arena=False)
     yield backend
     backend.close()
 
 
-@pytest.fixture(params=["thread", "process"])
-def pooled_backend(request, thread_backend, process_backend):
-    return thread_backend if request.param == "thread" else process_backend
+@pytest.fixture(scope="module")
+def arena_backend():
+    backend = ProcessPoolBackend(workers=2, arena=True)
+    yield backend
+    backend.close()
+
+
+@pytest.fixture(params=["thread", "process-pickle", "process-arena"])
+def pooled_backend(request, thread_backend, process_backend, arena_backend):
+    return {
+        "thread": thread_backend,
+        "process-pickle": process_backend,
+        "process-arena": arena_backend,
+    }[request.param]
 
 
 def _gcm_packets(count=len(SIZES), seed=0x5EA1):
@@ -89,6 +102,12 @@ def test_make_backend_parsing():
     assert isinstance(make_backend("process"), ProcessPoolBackend)
     assert make_backend("thread:5").workers == 5
     assert make_backend("PROCESS:2").workers in (1, 2)  # 1 when degraded
+    arena_pinned = make_backend("process-arena:2")
+    assert isinstance(arena_pinned, ProcessPoolBackend)
+    assert arena_pinned._arena_requested is True
+    pickle_pinned = make_backend("process_pickle:2")
+    assert isinstance(pickle_pinned, ProcessPoolBackend)
+    assert pickle_pinned._arena_requested is False
     backend = InlineBackend()
     assert make_backend(backend) is backend
     with pytest.raises(ValueError, match="unknown execution backend"):

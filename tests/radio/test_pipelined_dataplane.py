@@ -133,6 +133,18 @@ def test_pipelined_identical_on_process_backend():
         backend.close()
 
 
+@pytest.mark.parametrize("dataplane", ["batched", "pipelined"])
+def test_arena_and_pickle_dataplanes_byte_identical(dataplane):
+    """The zero-copy arena is a transport change only: every backend
+    spec delivers the same payload bytes, tags and per-channel order
+    as inline on both dataplanes."""
+    _, _, baseline, base_order = _run(_spec(dataplane, backend="inline"))
+    for spec in ("process-arena:2", "process-pickle:2"):
+        _, _, transfers, order = _run(_spec(dataplane, backend=spec))
+        assert transfers == baseline, spec
+        assert order == base_order, spec
+
+
 # -- adversarial completion order ---------------------------------------------
 
 

@@ -49,7 +49,10 @@ def test_run_bench_quick_emits_snapshot(tmp_path):
         "gcm_2kb_batch32_thread_over_inline",
         "ccm_2kb_batch32_thread_over_inline",
         "ccm_2kb_batch32_process_over_inline",
+        "gcm_2kb_batch32_arena_over_inline",
+        "ccm_2kb_batch32_arena_over_inline",
         "radio_ccm_2kb_batch32_thread_over_inline",
+        "radio_ccm_2kb_batch32_arena_over_inline",
         "radio_ccm_2kb_batch32_pipelined_thread_over_sync",
     }
     assert all(ratio > 0 for ratio in snapshot["speedups"].values())
@@ -57,6 +60,13 @@ def test_run_bench_quick_emits_snapshot(tmp_path):
     assert snapshot["backend"] in ("inline", "thread", "process")
     assert snapshot["cpu_count"] >= 1
     assert set(snapshot["backend_workers"]) == {"thread", "process"}
+    # Arena dataplane status rides along too: a recorded baseline must
+    # say whether the process numbers came from the shared-memory arena
+    # or the pickling fallback (and why, when degraded).
+    assert snapshot["arena_active"] in (True, False)
+    assert snapshot["arena_degraded"] is None or isinstance(
+        snapshot["arena_degraded"], str
+    )
 
 
 def test_deterministic_bytes_is_stable_and_not_constant():
