@@ -21,6 +21,12 @@ Two perf gates, each scoped to hosts that can actually express it:
   pickling path by ``--min-arena-over-pickle``.  Below 4 CPUs the
   process workers cannot outnumber the GIL-sharing threads
   meaningfully, so the gate reports and skips.
+- **adaptive controller** (``FlushPolicy(mode="auto")``): auto must
+  reach 95% of the best static kernel's packets/s (warn below — the
+  ISSUE's "within 5%" bar), and on >= 4-CPU runners it hard-fails
+  under ``--min-auto-over-default`` (default 0.9) of the same-backend
+  static default — the 10% margin absorbs wall-clock jitter on shared
+  runners; the byte-identity half of the check fails hard anywhere.
 
 Byte equality across every backend leg, the pipelined-dataplane
 identity, and the worker-crash chaos leg (survivor transcripts
@@ -37,7 +43,11 @@ from pathlib import Path
 if __package__ is None and __name__ == "__main__":  # script invocation
     sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.experiments.kernels import measure_chaos_identity, measure_pipelined
+from repro.experiments.kernels import (
+    measure_autotune,
+    measure_chaos_identity,
+    measure_pipelined,
+)
 from repro.experiments.scenarios.backends import measure_backends
 
 
@@ -50,6 +60,12 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--min-arena-over-pickle", type=float, default=1.5,
         help="required arena-over-pickling packets/s ratio (>= 4 CPUs only)",
+    )
+    parser.add_argument(
+        "--min-auto-over-default", type=float, default=0.9,
+        help="required auto-over-static packets/s ratio per backend "
+        "(>= 4 CPUs only; the margin under 1.0 absorbs wall-clock "
+        "jitter on shared runners)",
     )
     parser.add_argument(
         "--width", type=int, default=32, help="packets per coalesced batch"
@@ -110,6 +126,32 @@ def main(argv=None) -> int:
             "multi-core host (expected overlap did not materialise)"
         )
 
+    # Adaptive-controller leg: FlushPolicy(mode="auto") vs the static
+    # width on the same stream.  Byte identity fails hard anywhere;
+    # auto within 5% of the best static leg warns below; on >= 4 CPUs
+    # auto must hold --min-auto-over-default of the same-backend
+    # static rate or the gate fails.
+    tuned = measure_autotune(args.width, args.seconds)
+    for name, rate in tuned["rates"].items():
+        print(f"{name:14s} {rate:10.1f} packets/s (auto leg)")
+    if not tuned["identical"]:
+        failures.append("adaptive flush controller changed payload bytes")
+    best_static = max(
+        tuned["rates"]["static_thread"], tuned["rates"]["static_process"]
+    )
+    best_auto = max(
+        tuned["rates"]["auto_thread"], tuned["rates"]["auto_process"]
+    )
+    print(
+        f"auto over best static: {best_auto / best_static:.2f}x "
+        f"(adjustments traced: {sum(1 for d in tuned['trace'] if d['cause'].startswith(('widen', 'deadline')))})"
+    )
+    if best_auto < 0.95 * best_static:
+        print(
+            f"warn: auto {best_auto:.1f} packets/s under 95% of the best "
+            f"static kernel ({best_static:.1f})"
+        )
+
     # Chaos leg: one worker_crash while an arena slab is in flight, on
     # both dataplanes.  Survivors byte-identical and slab reclaimed, or
     # the gate fails — anywhere, any CPU count.
@@ -165,6 +207,15 @@ def main(argv=None) -> int:
                 f"{args.min_arena_over_pickle:.2f}x"
             )
             return 1
+        for leg in ("thread", "process"):
+            ratio = tuned["rates"][f"auto_{leg}"] / tuned["rates"][f"static_{leg}"]
+            print(f"auto over static ({leg}): {ratio:.2f}x")
+            if ratio < args.min_auto_over_default:
+                print(
+                    f"FAIL: auto {ratio:.2f}x static on the {leg} backend < "
+                    f"{args.min_auto_over_default:.2f}x on {cpu_count} CPUs"
+                )
+                return 1
 
     print("PASS")
     return 0

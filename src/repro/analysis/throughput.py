@@ -125,6 +125,22 @@ class WorkloadReport:
     breaker_bypasses: int = 0
     #: Breakers that closed again after successful half-open probes.
     breaker_recoveries: int = 0
+    # -- adaptive flush controller (FlushPolicy(mode="auto")) -----------
+    #: Knob changes the adaptive controllers applied across channels
+    #: (window decisions that actually moved a knob; holds not counted).
+    autotune_adjustments: int = 0
+    #: Per-channel decision traces — every closed observation window as
+    #: a JSON-safe dict (window stats in, knobs before/after, cause).
+    #: Identical across repeats and execution backends for the same
+    #: seed, so "why did it widen here" is answerable offline from any
+    #: sweep artifact.
+    autotune_traces: Dict[int, List[dict]] = field(default_factory=dict)
+    #: The workload advisor's picks, when consulted (``WorkloadSpec``
+    #: with ``autotune=AutotuneConfig(advise_backend=True)`` and no
+    #: pinned backend); empty/zero otherwise.
+    autotune_backend: str = ""
+    autotune_policy: str = ""
+    autotune_pipeline_depth: int = 0
     # -- session layer --------------------------------------------------
     #: Sessions the session manager started / ran to teardown.
     sessions_started: int = 0

@@ -3,7 +3,8 @@
 The pickling dataplane ships every packet's payload bytes through a
 ``ProcessPoolExecutor`` twice (args in, results out) — at 2 KB radio
 widths that serialisation tax is why ``ProcessPoolBackend`` loses to
-inline (ROADMAP open item 1).  The arena removes the payload from the
+inline (the ROADMAP item PR 9 closed).  The arena removes the payload
+from the
 wire entirely: one batch's scatter-gather inputs and result regions
 live in a ``multiprocessing.shared_memory`` slab, the only thing
 pickled per shard is a tuple of **span descriptors** (slab name +

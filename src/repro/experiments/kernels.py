@@ -86,7 +86,11 @@ def bench_backend(spec: str):
 
 
 def _radio_ccm_setup(
-    width: int, npackets: int, backend: str = None, pipelined: bool = False
+    width: int,
+    npackets: int,
+    backend: str = None,
+    pipelined: bool = False,
+    auto: bool = False,
 ):
     """One CCM radio-dataplane rig: (sim, comm, channel, packets).
 
@@ -94,6 +98,10 @@ def _radio_ccm_setup(
     number and the gate always measure the same pipeline
     (coalesce width *width*, 8-byte tags, 2 KB packets, dispatches on
     *backend* when given, async submit/reap dataplane when *pipelined*).
+    *auto* starts the same policy in adaptive mode: the ``_auto_``
+    kernels reuse one rig across bench iterations, so the controller's
+    knob choices converge over the first iterations and the steady
+    state is what gets measured.
     """
     from repro.core.params import Algorithm
     from repro.mccp.channel import FlushPolicy
@@ -105,7 +113,11 @@ def _radio_ccm_setup(
     mccp = Mccp(sim)
     mccp.load_session_key(0, KEY)
     channel = mccp.open_channel(Algorithm.CCM, 0, tag_length=8)
-    channel.flush_policy = FlushPolicy(coalesce_limit=width, flush_deadline=None)
+    channel.flush_policy = FlushPolicy(
+        coalesce_limit=width,
+        flush_deadline=None,
+        mode="auto" if auto else "fixed",
+    )
     comm = CommController(
         sim, mccp, backend=bench_backend(backend) if backend else None
     )
@@ -134,7 +146,11 @@ def _radio_ccm_round(sim, comm, channel, packets) -> None:
 
 
 def _radio_ccm_dataplane(
-    width: int, npackets: int, backend: str = None, pipelined: bool = False
+    width: int,
+    npackets: int,
+    backend: str = None,
+    pipelined: bool = False,
+    auto: bool = False,
 ):
     """Zero-arg kernel: *npackets* 2 KB CCM packets through the batched
     radio dataplane at coalesce width *width*.
@@ -151,7 +167,7 @@ def _radio_ccm_dataplane(
     ``PIPELINE_STREAM_PACKETS`` so batches overlap).
     """
     sim, comm, channel, packets = _radio_ccm_setup(
-        width, npackets, backend, pipelined
+        width, npackets, backend, pipelined, auto
     )
 
     def run() -> int:
@@ -206,6 +222,55 @@ def measure_pipelined(
     return {
         "identical": identical,
         "rates": rates,
+        "cpu_count": os.cpu_count() or 1,
+    }
+
+
+def measure_autotune(width: int, window: float) -> dict:
+    """Adaptive-vs-static radio dataplane, shared with the CI gate.
+
+    Streams ``PIPELINE_STREAM_PACKETS`` 2 KB CCM packets per op on the
+    thread and process backends, once with the static width-*width*
+    policy and once with ``FlushPolicy(mode="auto")`` starting from the
+    same knobs (the auto rig persists across iterations, so the
+    controller's decisions converge before the steady state is
+    measured).  Returns per-leg packets/s ``rates``
+    (``{static,auto}_{thread,process}``), the byte-identity bool
+    ``identical`` (the auto transcript must match the static one —
+    the controller moves batching geometry, never bytes), the auto
+    rig's decision ``trace`` (JSON-safe dicts, for the bench artifact),
+    and ``cpu_count``.  ``benchmarks/gate_backends.py`` consumes this
+    so its auto gate measures exactly what the ``_auto_`` bench
+    kernels measure.
+    """
+    import os
+
+    def _transcript(auto: bool):
+        sim, comm, channel, packets = _radio_ccm_setup(
+            width, PIPELINE_STREAM_PACKETS, "thread", auto=auto
+        )
+        _radio_ccm_round(sim, comm, channel, packets)
+        transcript = [
+            (t.job.sequence, t.payload, t.tag)
+            for t in comm.completed.values()
+        ]
+        trace = channel.autotune.trace_dicts() if channel.autotune else []
+        return transcript, trace
+
+    static_transcript, _ = _transcript(False)
+    auto_transcript, trace = _transcript(True)
+    rates = {}
+    for backend in ("thread", "process"):
+        for variant, auto in (("static", False), ("auto", True)):
+            fn = _radio_ccm_dataplane(
+                width, PIPELINE_STREAM_PACKETS, backend, auto=auto
+            )
+            ops_per_s, _ = measure(fn, window)
+            rates[f"{variant}_{backend}"] = ops_per_s * PIPELINE_STREAM_PACKETS
+    return {
+        "identical": auto_transcript == static_transcript,
+        "rates": rates,
+        "trace": trace,
         "cpu_count": os.cpu_count() or 1,
     }
 
@@ -352,6 +417,17 @@ def build_kernels() -> Dict[str, Callable[[], object]]:
         "radio_ccm_2kb_batch32_pipelined_process_fast": _radio_ccm_dataplane(
             32, PIPELINE_STREAM_PACKETS, backend="process", pipelined=True
         ),
+        # Adaptive twins: FlushPolicy(mode="auto") starting from the
+        # static width-32 knobs on the same 4-batch stream.  The rig
+        # persists across iterations, so the controller converges in
+        # the warm-up and the steady state is what gets measured; the
+        # CI gate requires auto within 5% of the best static kernel.
+        "radio_ccm_2kb_auto_thread_fast": _radio_ccm_dataplane(
+            32, PIPELINE_STREAM_PACKETS, backend="thread", auto=True
+        ),
+        "radio_ccm_2kb_auto_process_fast": _radio_ccm_dataplane(
+            32, PIPELINE_STREAM_PACKETS, backend="process", auto=True
+        ),
         "sim_kernel_8k_events": _kernel_events,
     }
 
@@ -386,6 +462,8 @@ KERNEL_NAMES = (
     "radio_ccm_2kb_batch32_arena_fast",
     "radio_ccm_2kb_batch32_pipelined_thread_fast",
     "radio_ccm_2kb_batch32_pipelined_process_fast",
+    "radio_ccm_2kb_auto_thread_fast",
+    "radio_ccm_2kb_auto_process_fast",
     "sim_kernel_8k_events",
 )
 
@@ -457,14 +535,18 @@ def correctness_check(name: str) -> bool:
         "radio_ccm_2kb_batch32_arena_fast",
         "radio_ccm_2kb_batch32_pipelined_thread_fast",
         "radio_ccm_2kb_batch32_pipelined_process_fast",
+        "radio_ccm_2kb_auto_thread_fast",
+        "radio_ccm_2kb_auto_process_fast",
     ):
         # The full dataplane (jobs, flush policy, batch engine) must
         # reproduce the sequential one-call fast path byte-for-byte.
         # The pipelined variants run their own rig (async submit/reap,
         # 4-batch stream) and must additionally fan out in sequence
-        # order per channel.
+        # order per channel; the _auto_ variants run the adaptive
+        # controller, whose knob moves must never change bytes.
         width = 1 if name == "radio_ccm_2kb_fast" else 32
         pipelined = "_pipelined_" in name
+        auto = "_auto_" in name
         backend = None
         if name.endswith("_thread_fast"):
             backend = "thread"
@@ -472,9 +554,11 @@ def correctness_check(name: str) -> bool:
             backend = "process-arena"
         elif name.endswith("_process_fast"):
             backend = "process"
-        npackets = PIPELINE_STREAM_PACKETS if pipelined else BATCH_PACKETS
+        npackets = (
+            PIPELINE_STREAM_PACKETS if (pipelined or auto) else BATCH_PACKETS
+        )
         sim, comm, channel, packets = _radio_ccm_setup(
-            width, npackets, backend, pipelined
+            width, npackets, backend, pipelined, auto
         )
         _radio_ccm_round(sim, comm, channel, packets)
         transfers = list(comm.completed.values())

@@ -18,6 +18,13 @@ from repro.mccp.instructions import (
     TransferDoneInstr,
     decode_instruction,
 )
+from repro.mccp.autotune import (
+    AutotuneConfig,
+    BackendAdvice,
+    FlushController,
+    TrafficProfile,
+    advise_backend,
+)
 from repro.mccp.key_memory import KeyMemory
 from repro.mccp.key_scheduler import KeyScheduler
 from repro.mccp.crossbar import Crossbar
@@ -35,6 +42,11 @@ __all__ = [
     "ReturnCode",
     "TransferDoneInstr",
     "decode_instruction",
+    "AutotuneConfig",
+    "BackendAdvice",
+    "FlushController",
+    "TrafficProfile",
+    "advise_backend",
     "KeyMemory",
     "KeyScheduler",
     "Crossbar",

@@ -72,12 +72,16 @@ class FlushPolicy:
     ``0`` dispatches on the enqueueing cycle (still coalescing jobs
     that arrive within the same cycle).
 
-    ``mode`` names the policy flavour.  ``"fixed"`` — the only mode
-    implemented today — applies the two static knobs above verbatim.
-    ``"auto"`` is reserved for the ROADMAP's adaptive controller
-    (open item 3: knobs chosen online from queue peaks, batch widths
-    and flush causes) and is rejected until it ships, so the name
-    cannot silently mean "fixed" in the meantime.
+    ``mode`` names the policy flavour.  ``"fixed"`` applies the two
+    static knobs above verbatim for the whole run.  ``"auto"`` starts
+    from the same two knobs but hands them to the adaptive controller
+    (:class:`repro.mccp.autotune.FlushController`, attached lazily by
+    the communication controller at first submission): the controller
+    observes windowed per-channel statistics in simulated cycles and
+    retunes ``coalesce_limit``/``flush_deadline`` at window
+    boundaries, recording every decision in a trace.  Auto never
+    changes payload bytes — only batching geometry, and therefore
+    latency/throughput.
     """
 
     coalesce_limit: int = DEFAULT_COALESCE_LIMIT
@@ -98,16 +102,10 @@ class FlushPolicy:
             raise ValueError(
                 f"flush_deadline must be >= 0 or None, got {self.flush_deadline}"
             )
-        if self.mode == "auto":
-            raise ValueError(
-                "FlushPolicy(mode='auto') is reserved for the adaptive "
-                "flush controller (ROADMAP open item 3) and is not "
-                "implemented yet; use mode='fixed'"
-            )
-        if self.mode != "fixed":
+        if self.mode not in ("fixed", "auto"):
             raise ValueError(
                 f"unknown FlushPolicy mode {self.mode!r}; valid: 'fixed' "
-                "('auto' is reserved for the adaptive controller)"
+                "(static knobs) or 'auto' (adaptive controller)"
             )
 
 
@@ -227,6 +225,11 @@ class Channel:
     low_watermark: Optional[int] = None
     #: Sticky overload flag (see :attr:`low_watermark`).
     under_pressure: bool = False
+    #: The adaptive controller driving this channel's knobs when its
+    #: policy is ``mode="auto"`` (:class:`repro.mccp.autotune
+    #: .FlushController`, attached lazily by the communication
+    #: controller); None on fixed-policy channels.
+    autotune: Optional[Any] = None
 
     @property
     def coalesce_limit(self) -> int:
@@ -235,7 +238,14 @@ class Channel:
 
     @coalesce_limit.setter
     def coalesce_limit(self, value: int) -> None:
-        self.flush_policy.coalesce_limit = max(1, int(value))
+        # Route through FlushPolicy validation: a negative width raises
+        # the constructor's pointed error instead of silently clamping;
+        # 0 keeps its documented "dispatch immediately" floor of 1.
+        from dataclasses import replace
+
+        self.flush_policy = replace(
+            self.flush_policy, coalesce_limit=int(value)
+        )
 
     @property
     def is_open(self) -> bool:

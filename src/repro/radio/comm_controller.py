@@ -44,6 +44,7 @@ from dataclasses import dataclass, field
 
 from repro.core.params import Algorithm, Direction
 from repro.errors import ProtocolError
+from repro.mccp.autotune import AutotuneConfig, FlushController
 from repro.mccp.channel import Channel, PacketJob
 from repro.mccp.mccp import BATCHABLE_ALGORITHMS, Mccp
 from repro.mccp.task_scheduler import PendingRequest
@@ -163,6 +164,34 @@ class CommController:
         #: Peak number of concurrently in-flight dispatches across all
         #: channels (reported by ``run_workload`` as pipeline overlap).
         self.pipeline_in_flight_peak = 0
+        # -- adaptive flush controller ---------------------------------
+        #: Tuning envelope handed to every lazily-attached
+        #: :class:`repro.mccp.autotune.FlushController` (channels whose
+        #: policy is ``mode="auto"``).  Replace before traffic flows to
+        #: retune windows/bounds for a run.
+        self.autotune_config = AutotuneConfig()
+
+    # -- adaptive flush controller -------------------------------------------------
+
+    def _autotuner(self, channel: Channel) -> Optional[FlushController]:
+        """The channel's controller, attached lazily on auto policies."""
+        if channel.flush_policy.mode != "auto":
+            return None
+        controller = channel.autotune
+        if controller is None:
+            controller = FlushController(
+                channel.channel_id,
+                seed=self._seed,
+                config=self.autotune_config,
+            )
+            channel.autotune = controller
+        return controller
+
+    def _observe_flush(self, channel: Channel, cause: str, width: int) -> None:
+        """Feed one dispatched batch to the channel's controller."""
+        controller = self._autotuner(channel)
+        if controller is not None:
+            controller.observe_flush(channel, cause, width, self.sim.now)
 
     # -- nonce management -------------------------------------------------------
 
@@ -239,6 +268,11 @@ class CommController:
             else self.sim.event(f"job.ch{channel.channel_id}.s{packet.sequence}")
         )
         self.mccp.enqueue_job(channel.channel_id, job)
+        controller = self._autotuner(channel)
+        if controller is not None:
+            # Observed before the policy applies, so a window that
+            # closes here retunes the knobs the policy reads next.
+            controller.observe_enqueue(channel, job, self.sim.now)
         self._note_enqueue(channel)
         return job
 
@@ -325,8 +359,12 @@ class CommController:
         self._draining.add(cid)
         self._drain_done[cid] = self.sim.event(f"dataplane.drained.ch{cid}")
         try:
-            limit = channel.flush_policy.coalesce_limit
-            while channel.pending and (force or channel.pending_count >= limit):
+            # The limit is re-read each iteration: the adaptive
+            # controller may widen it at a window boundary mid-drain.
+            while channel.pending and (
+                force
+                or channel.pending_count >= channel.flush_policy.coalesce_limit
+            ):
                 batch = channel.take_batch()
                 # Popped jobs leave `pending` but must stay visible to
                 # close_channel until their completions fire — the
@@ -350,6 +388,7 @@ class CommController:
                         stats[f"flush_{cause}"] = (
                             stats.get(f"flush_{cause}", 0) + 1
                         )
+                        self._observe_flush(channel, cause, len(batch))
                         depth = sum(
                             len(q) for q in self._inflight.values()
                         )
@@ -364,6 +403,7 @@ class CommController:
                         stats[f"flush_{cause}"] = (
                             stats.get(f"flush_{cause}", 0) + 1
                         )
+                        self._observe_flush(channel, cause, len(batch))
                         for job, result in zip(batch, results):
                             transfers.append(
                                 self._complete_batch_job(job, result)

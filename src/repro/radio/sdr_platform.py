@@ -59,12 +59,13 @@ from __future__ import annotations
 import random
 import warnings
 from dataclasses import dataclass, field, replace
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Union
 
 from repro.analysis.throughput import WorkloadReport
 from repro.core.params import Algorithm, Direction
 from repro.crypto.fast.exec import BackendSpec, resolve_backend
 from repro.errors import BackpressureError, NoResourceError
+from repro.mccp.autotune import AutotuneConfig, TrafficProfile, advise_backend
 from repro.mccp.channel import Channel, FlushPolicy
 from repro.mccp.key_memory import KeyMemory
 from repro.mccp.mccp import BATCHABLE_ALGORITHMS, Mccp
@@ -148,8 +149,26 @@ class WorkloadSpec:
     #: Admission-control policy for the run (None = admit everything;
     #: bounded queues then surface as BackpressureError retries).
     admission: Optional[AdmissionPolicy] = None
+    #: Adaptive dataplane tuning (:mod:`repro.mccp.autotune`).  ``True``
+    #: or an :class:`AutotuneConfig` installs the config on the
+    #: communication controller and defaults the run-level flush policy
+    #: to ``FlushPolicy(mode="auto")`` when none is given; with
+    #: ``advise_backend`` set and no pinned :attr:`backend`, the scored
+    #: policy table also picks the run's backend and pipeline depth.
+    autotune: Union[bool, AutotuneConfig, None] = None
 
     def __post_init__(self) -> None:
+        if self.autotune is True:
+            self.autotune = AutotuneConfig()
+        elif self.autotune is False:
+            self.autotune = None
+        elif self.autotune is not None and not isinstance(
+            self.autotune, AutotuneConfig
+        ):
+            raise TypeError(
+                "autotune must be True, False, None or an AutotuneConfig, "
+                f"got {self.autotune!r}"
+            )
         if self.dataplane not in DATAPLANES:
             raise ValueError(
                 f"unknown dataplane {self.dataplane!r}; valid: "
@@ -197,6 +216,36 @@ def _arrived_packet(item: GeneratedPacket, now: int) -> Packet:
     here.
     """
     return replace(item.packet, created_cycle=now)
+
+
+def _traffic_profile(configs: Sequence[ChannelConfig]) -> TrafficProfile:
+    """Summarise a workload's shape for the backend advisor.
+
+    Built from the channel configs alone (standard payload sizes,
+    packet counts, patterns, priorities) — nothing measured — so the
+    advisor's pick is known before any traffic flows and is identical
+    on every repeat.
+    """
+    total_packets = 0
+    total_bytes = 0
+    sustained = 0
+    control = 0
+    for config in configs:
+        profile = STANDARD_PROFILES[config.standard]
+        total_packets += config.packets
+        total_bytes += config.packets * profile.payload_bytes
+        if config.pattern is TrafficPattern.SATURATING:
+            sustained += config.packets
+        if config.priority == 0:
+            control += config.packets
+    packets = max(1, total_packets)
+    return TrafficProfile(
+        channels=len(configs),
+        total_packets=total_packets,
+        mean_packet_bytes=total_bytes / packets,
+        sustained_fraction=sustained / packets,
+        control_fraction=control / packets,
+    )
 
 
 def _worker_expansions(comm) -> int:
@@ -293,6 +342,11 @@ class _RunAccounting:
                     report.flush_causes[cause] = (
                         report.flush_causes.get(cause, 0) + count
                     )
+            if channel.autotune is not None:
+                report.autotune_adjustments += channel.autotune.adjustments
+                report.autotune_traces[channel.channel_id] = (
+                    channel.autotune.trace_dicts()
+                )
         if controller is not None:
             report.admitted_by_class = dict(controller.admitted)
             report.shed_by_class = controller.shed_by_class()
@@ -434,12 +488,30 @@ class SdrPlatform:
             if spec.admission is not None
             else None
         )
+        autotune = spec.autotune  # AutotuneConfig or None (normalized)
+        pipeline_depth = spec.pipeline_depth
         previous_backend = self.comm.backend
         previous_pipeline = (self.comm.pipelined, self.comm.pipeline_depth)
+        previous_autotune = self.comm.autotune_config
+        if autotune is not None:
+            self.comm.autotune_config = autotune
+            if flush_policy is None:
+                # Adaptive runs default every channel onto the
+                # controller; per-config policies still win.
+                flush_policy = FlushPolicy(mode="auto")
+            if autotune.advise_backend and backend is None:
+                advice = advise_backend(
+                    _traffic_profile(configs), cpu_count=autotune.cpu_count
+                )
+                backend = advice.backend
+                pipeline_depth = advice.pipeline_depth
+                report.autotune_backend = advice.backend
+                report.autotune_policy = advice.policy
+                report.autotune_pipeline_depth = advice.pipeline_depth
         if backend is not None:
             self.comm.backend = backend
         self.comm.pipelined = dataplane == "pipelined"
-        self.comm.pipeline_depth = spec.pipeline_depth
+        self.comm.pipeline_depth = pipeline_depth
         self.comm.pipeline_in_flight_peak = 0
         # Snapshot *after* the spec's backend override is installed and
         # fill *before* the finally restores it: the worker-expansion
@@ -457,6 +529,7 @@ class SdrPlatform:
         finally:
             self.comm.backend = previous_backend
             self.comm.pipelined, self.comm.pipeline_depth = previous_pipeline
+            self.comm.autotune_config = previous_autotune
 
     def _launch_channels(
         self,

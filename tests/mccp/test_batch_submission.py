@@ -222,5 +222,13 @@ def test_coalesce_limit_property_tracks_flush_policy(mccp):
     assert channel.flush_policy.coalesce_limit == 4
     channel.flush_policy.coalesce_limit = 9
     assert channel.coalesce_limit == 9
-    channel.coalesce_limit = 0  # clamped to a sane floor
+    channel.coalesce_limit = 0  # documented "dispatch immediately" floor
     assert channel.coalesce_limit == 1
+    # The setter routes through FlushPolicy validation: a negative
+    # width raises the constructor's pointed error instead of silently
+    # clamping, and the rest of the policy survives the round-trip.
+    channel.flush_policy.flush_deadline = 123
+    with pytest.raises(ValueError, match="coalesce_limit must be >= 0"):
+        channel.coalesce_limit = -3
+    assert channel.coalesce_limit == 1
+    assert channel.flush_policy.flush_deadline == 123

@@ -333,7 +333,10 @@ class TestWorkloadSpec:
 
     def test_flush_policy_mode_validation(self):
         assert FlushPolicy(coalesce_limit=4, mode="fixed").mode == "fixed"
-        with pytest.raises(ValueError, match="reserved for the adaptive"):
-            FlushPolicy(coalesce_limit=4, mode="auto")
+        # "auto" is a real mode since the adaptive controller shipped:
+        # it constructs with the same knob validation as "fixed".
+        auto = FlushPolicy(coalesce_limit=4, mode="auto")
+        assert auto.mode == "auto"
+        assert auto.coalesce_limit == 4
         with pytest.raises(ValueError, match="unknown FlushPolicy mode"):
             FlushPolicy(coalesce_limit=4, mode="turbo")
